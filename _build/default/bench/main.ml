@@ -1,0 +1,424 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation (Section 4), prints paper-reported values next to
+   measured ones, and adds validation/ablation experiments the paper
+   could not run (estimated vs simulated execution, window and buffer
+   sweeps). Optimization-time microbenchmarks run under Bechamel at the
+   end. EXPERIMENTS.md summarizes the output of this program. *)
+
+module Value = Oodb_storage.Value
+module Logical = Oodb_algebra.Logical
+module Catalog = Oodb_catalog.Catalog
+module OC = Oodb_catalog.Open_oodb_catalog
+module Config = Oodb_cost.Config
+module Cost = Oodb_cost.Cost
+module Q = Oodb_workloads.Queries
+module Datagen = Oodb_workloads.Datagen
+module Opt = Open_oodb.Optimizer
+module Options = Open_oodb.Options
+module Physprop = Open_oodb.Physprop
+module Engine = Open_oodb.Model.Engine
+module Db = Oodb_exec.Db
+module Executor = Oodb_exec.Executor
+module Greedy = Oodb_baselines.Greedy
+module Naive = Oodb_baselines.Naive
+
+let section title =
+  Format.printf "@.============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "============================================================@."
+
+let subsection title = Format.printf "@.---- %s ----@." title
+
+(* The paper-exact catalog drives all estimates. *)
+let cat = OC.catalog_with_indexes ()
+
+(* The generated database validates plans by execution. Building it takes
+   about a second. *)
+let db = lazy (Datagen.generate ())
+
+let optimize ?(options = Options.default) ?(catalog = cat) q = Opt.optimize ~options catalog q
+
+let est ?options ?catalog q = Cost.total (Opt.cost (optimize ?options ?catalog q))
+
+let show_plan label outcome =
+  Format.printf "@.%s:@.%a@.anticipated cost: %a   (optimization %.4fs; %a)@." label
+    Engine.pp_plan (Opt.plan_exn outcome) Cost.pp (Opt.cost outcome) outcome.Opt.opt_seconds
+    Opt.pp_stats outcome.Opt.stats
+
+let execute label plan =
+  let rows, report = Executor.run_measured (Lazy.force db) plan in
+  ignore rows;
+  Format.printf "%-34s %a@." label Executor.pp_report report;
+  report
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1. Catalog information (reconstructed; see DESIGN.md)";
+  Format.printf "%a" Catalog.pp_table cat;
+  Format.printf "Indexes: %s@."
+    (String.concat ", "
+       (List.map
+          (fun ix ->
+            Printf.sprintf "%s on %s(%s), %d keys" ix.Catalog.ix_name ix.Catalog.ix_coll
+              (String.concat "." ix.Catalog.ix_path) ix.Catalog.ix_distinct)
+          (Catalog.indexes cat)))
+
+let figures_2_to_5 () =
+  section "Figures 2, 3 and 5. Logical algebra expressions with Mat";
+  subsection "Figure 2 (path expressions as Mat compositions)";
+  Format.printf "%a@." Logical.pp Q.fig2;
+  subsection "Figure 3 (set-valued path: Unnest + Mat)";
+  Format.printf "%a@." Logical.pp Q.fig3;
+  subsection "Figure 5 (Query 1 as presented to the optimizer)";
+  Format.printf "%a@." Logical.pp Q.q1
+
+(* Table 2 + Figures 6 and 7 --------------------------------------- *)
+
+let query1 () =
+  section "Query 1: path expressions and inter-object references";
+  let all = optimize Q.q1 in
+  let naive = optimize ~options:(Options.disable "mat-to-join" Options.default) Q.q1 in
+  let no_window =
+    optimize
+      ~options:(Options.with_assembly_window 1 (Options.disable "mat-to-join" Options.default))
+      Q.q1
+  in
+  let no_commute = optimize ~options:(Options.without_join_commutativity Options.default) Q.q1 in
+  show_plan "Figure 6: optimal execution plan (all rules)" all;
+  show_plan "Figure 7: plan without Mat-to-Join (naive pointer chasing)" naive;
+  subsection "Table 2. Optimization results for Query 1";
+  Format.printf "%-28s %10s %10s %12s %12s %14s@." "Configuration" "Opt [ms]" "plans" "Est [s]"
+    "% of opt" "paper Est [s]";
+  let all_cost = Cost.total (Opt.cost all) in
+  let row label outcome paper =
+    Format.printf "%-28s %10.2f %10d %12.1f %12.0f %14s@." label
+      (outcome.Opt.opt_seconds *. 1000.0)
+      outcome.Opt.stats.Engine.candidates
+      (Cost.total (Opt.cost outcome))
+      (100.0 *. Cost.total (Opt.cost outcome) /. all_cost)
+      paper
+  in
+  row "All rules" all "161 (100%)";
+  row "W/o Mat-to-Join (Fig. 7)" naive "681 (422%)";
+  row "W/o window (and no joins)" no_window "1188 (737%)";
+  row "W/o join commutativity" no_commute "-";
+  Format.printf
+    "(The paper obtained Fig. 7 by disabling join commutativity; our rule set still finds a\n\
+    \ join-based plan in that configuration, so the pointer-chasing row disables Mat-to-Join —\n\
+    \ see EXPERIMENTS.md.)@.";
+  subsection "Execution on the generated database (beyond the paper)";
+  let r_all = execute "optimal plan" (Opt.plan_exn all) in
+  let r_naive = execute "naive pointer chasing" (Opt.plan_exn naive) in
+  Format.printf "simulated-disk ratio naive/optimal: %.1fx@."
+    (r_naive.Executor.simulated_seconds /. r_all.Executor.simulated_seconds)
+
+(* Figures 8 and 9 --------------------------------------------------- *)
+
+let query2 () =
+  section "Query 2: collapse-to-index-scan over a path index";
+  let all = optimize Q.q2 in
+  let no_collapse = optimize ~options:(Options.disable "collapse-index-scan" Options.default) Q.q2 in
+  show_plan "Figure 8: optimal plan (path index on mayor.name)" all;
+  show_plan "Figure 9: plan without collapse-to-index-scan" no_collapse;
+  Format.printf "@.est: with rule %.2fs (paper 0.08), without %.2fs (paper 119.6) — %.0fx apart@."
+    (Cost.total (Opt.cost all))
+    (Cost.total (Opt.cost no_collapse))
+    (Cost.total (Opt.cost no_collapse) /. Cost.total (Opt.cost all));
+  subsection "Execution on the generated database";
+  ignore (execute "index-scan plan" (Opt.plan_exn all));
+  ignore (execute "assembly plan (Fig. 9)" (Opt.plan_exn no_collapse))
+
+(* Figures 10 and 11 ------------------------------------------------- *)
+
+let query3 () =
+  section "Query 3: physical properties and goal-directed search";
+  let all = optimize Q.q3 in
+  show_plan "Figure 10: optimal plan (assembly enforcer above the index scan)" all;
+  subsection "Figure 11. The search state this plan comes from";
+  Format.printf
+    "Alg-Project requires {c, c.mayor} present in memory.  The collapsed index scan@.\
+     delivers only {c}, so it cannot implement the Select subquery directly:@.\
+     \  alternative 1: Filter with input {c, c.mayor}  ->  assembly over a full file scan@.\
+     \  alternative 2: assembly ENFORCER for c.mayor over the plan for {c}  ->  index scan@.";
+  let filter_based =
+    optimize ~options:(Options.disable "collapse-index-scan" Options.default) Q.q3
+  in
+  let no_enforcer = optimize ~options:(Options.disable "assembly-enforcer" Options.default) Q.q3 in
+  Format.printf "alternative 1 (no index):   %a   (paper: 119.6s)@." Cost.pp (Opt.cost filter_based);
+  Format.printf "alternative 2 (chosen):     %a   (paper: 0.12s)@." Cost.pp (Opt.cost all);
+  Format.printf "without the enforcer:       %a@." Cost.pp (Opt.cost no_enforcer);
+  subsection "Execution on the generated database";
+  ignore (execute "figure 10 plan" (Opt.plan_exn all))
+
+(* Table 3 + Figures 12 and 13 --------------------------------------- *)
+
+let query4 () =
+  section "Query 4: heuristic (greedy) vs cost-based optimization";
+  let all = optimize Q.q4 in
+  show_plan "Figure 12: optimal plan (only the time index)" all;
+  (match Greedy.optimize cat Q.q4 with
+  | Ok plan ->
+    Format.printf "@.Figure 13: greedy plan (uses both indexes):@.%a@.anticipated cost: %a@."
+      Engine.pp_plan plan Cost.pp plan.Engine.cost
+  | Error m -> Format.printf "greedy failed: %s@." m);
+  subsection "Table 3. Anticipated execution times for Query 4 [s]";
+  let with_indexes ixs =
+    let c = OC.catalog () in
+    List.iter (Catalog.add_index c) ixs;
+    c
+  in
+  let configs =
+    [ ("None", with_indexes []);
+      ("Time only", with_indexes [ OC.idx_tasks_time ]);
+      ("Name only", with_indexes [ OC.idx_employees_name ]);
+      ("Both", with_indexes [ OC.idx_tasks_time; OC.idx_employees_name ]) ]
+  in
+  Format.printf "%-12s %14s %14s@." "Indexes" "All rules" "Greedy use";
+  List.iter
+    (fun (label, c) ->
+      let full = est ~catalog:c Q.q4 in
+      let greedy =
+        match Greedy.optimize c Q.q4 with
+        | Ok p -> Cost.total p.Engine.cost
+        | Error _ -> nan
+      in
+      Format.printf "%-12s %14.2f %14.2f@." label full greedy)
+    configs;
+  Format.printf "paper:       None 108/108   Time 1.73/1.73   Name 28.4/28.4   Both 1.73/10.1@.";
+  subsection "Execution on the generated database";
+  ignore (execute "cost-based plan" (Opt.plan_exn all));
+  match Greedy.optimize (Db.catalog (Lazy.force db)) Q.q4 with
+  | Ok plan -> ignore (execute "greedy plan" plan)
+  | Error m -> Format.printf "greedy failed: %s@." m
+
+(* Estimated vs simulated execution ---------------------------------- *)
+
+let validation () =
+  section "Validation: anticipated I/O cost vs simulated disk time (beyond the paper)";
+  Format.printf "%-8s %12s %14s %10s@." "query" "est io [s]" "simulated [s]" "rows";
+  List.iter
+    (fun (name, q) ->
+      let d = Lazy.force db in
+      let outcome = Opt.optimize (Db.catalog d) q in
+      let plan = Opt.plan_exn outcome in
+      let rows, report = Executor.run_measured d plan in
+      Format.printf "%-8s %12.2f %14.2f %10d@." name (Opt.cost outcome).Cost.io
+        report.Executor.simulated_seconds (List.length rows))
+    [ ("q1", Q.q1); ("q2", Q.q2); ("q3", Q.q3); ("q4", Q.q4) ]
+
+(* Ablations ---------------------------------------------------------- *)
+
+let ablation_window () =
+  section "Ablation: assembly window size (Query 2 assembly plan, 10,000 mayors)";
+  Format.printf
+    "Simulated on a memory-constrained machine (128 buffered pages) where the Person extent@.";
+  Format.printf "does not fit: the window of open references is what reorders the fetches.@.";
+  let small = Datagen.generate ~buffer_pages:128 () in
+  Format.printf "%-10s %14s %16s@." "window" "est cost [s]" "simulated [s]";
+  List.iter
+    (fun w ->
+      let options =
+        Options.with_assembly_window w
+          (Options.disable "mat-to-join"
+             (Options.disable "collapse-index-scan" Options.default))
+      in
+      let outcome = optimize ~options ~catalog:(Db.catalog small) Q.q2 in
+      let _, report = Executor.run_measured small (Opt.plan_exn outcome) in
+      Format.printf "%-10d %14.2f %16.2f@." w
+        (Cost.total (Opt.cost outcome))
+        report.Executor.simulated_seconds)
+    [ 1; 2; 4; 8; 16; 64; 256 ]
+
+let ablation_buffer () =
+  section "Ablation: buffer pool size vs naive pointer chasing (Query 1, simulated disk)";
+  Format.printf
+    "The cost model charges naive traversal for repeated dereferences; at execution time a@.";
+  Format.printf
+    "large enough buffer pool absorbs them (the effect the paper notes can only be studied@.";
+  Format.printf "in the context of a real, working system). Small pools restore the gap.@.";
+  Format.printf "%-14s %18s %18s %10s@." "buffer [pages]" "optimal sim [s]" "naive sim [s]"
+    "ratio";
+  List.iter
+    (fun pages ->
+      let d = Datagen.generate ~buffer_pages:pages () in
+      let dcat = Db.catalog d in
+      let optimal = Opt.plan_exn (Opt.optimize dcat Q.q1) in
+      let naive =
+        Opt.plan_exn (Opt.optimize ~options:(Options.disable "mat-to-join" Options.default) dcat Q.q1)
+      in
+      let _, r_opt = Executor.run_measured d optimal in
+      let _, r_naive = Executor.run_measured d naive in
+      Format.printf "%-14d %18.2f %18.2f %10.1f@." pages r_opt.Executor.simulated_seconds
+        r_naive.Executor.simulated_seconds
+        (r_naive.Executor.simulated_seconds /. r_opt.Executor.simulated_seconds))
+    [ 16; 64; 256; 1024 ]
+
+let ablation_selectivity () =
+  section "Ablation: default selectivity (Query 4 without indexes)";
+  Format.printf "%-14s %14s@." "default sel." "est cost [s]";
+  List.iter
+    (fun s ->
+      let config = { Config.default with Config.default_selectivity = s } in
+      let options = Options.with_config config Options.default in
+      let c = OC.catalog () in
+      Format.printf "%-14.2f %14.2f@." s (est ~options ~catalog:c Q.q4))
+    [ 0.01; 0.05; 0.10; 0.25; 0.50 ]
+
+let ablation_pruning () =
+  section "Ablation: branch-and-bound pruning (search effort on Query 1)";
+  let run pruning =
+    optimize ~options:{ Options.default with Options.pruning } Q.q1
+  in
+  let on = run true and off = run false in
+  Format.printf "%-12s %10s %10s %12s@." "pruning" "plans" "memo hits" "est [s]";
+  Format.printf "%-12s %10d %10d %12.1f@." "on" on.Opt.stats.Engine.candidates
+    on.Opt.stats.Engine.phys_memo_hits
+    (Cost.total (Opt.cost on));
+  Format.printf "%-12s %10d %10d %12.1f@." "off" off.Opt.stats.Engine.candidates
+    off.Opt.stats.Engine.phys_memo_hits
+    (Cost.total (Opt.cost off))
+
+let ablation_guidance () =
+  section "Heuristic guidance: seeding branch-and-bound with the greedy plan's cost";
+  Format.printf
+    "The paper lists evaluating Volcano's heuristic guidance and pruning as future work.@.";
+  Format.printf
+    "Seeding the cost limit with the greedy baseline's estimate prunes the search:@.";
+  Format.printf "%-28s %12s %12s %12s@." "query" "unseeded" "seeded" "est [s]";
+  List.iter
+    (fun (name, q) ->
+      let unseeded = optimize q in
+      match Greedy.optimize cat q with
+      | Error _ -> Format.printf "%-28s (greedy not applicable)@." name
+      | Ok g ->
+        (* a hair of slack: the heuristic accumulates costs in a different
+           order, so its total can differ from the search's by an ulp *)
+        let limit = Cost.add g.Engine.cost (Cost.cpu 1e-6) in
+        let seeded = Opt.optimize ~initial_limit:limit cat q in
+        Format.printf "%-28s %12d %12d %12.2f@." name
+          unseeded.Opt.stats.Engine.candidates seeded.Opt.stats.Engine.candidates
+          (Cost.total (Opt.cost seeded));
+        assert (Cost.total (Opt.cost seeded) <= Cost.total (Opt.cost unseeded) +. 1e-9))
+    [ ("q1", Q.q1); ("q2", Q.q2); ("q3", Q.q3); ("q4", Q.q4) ]
+
+let ablation_warm_start () =
+  section "Extension: Lesson-7 warm-start assembly (opt-in; beyond the paper)";
+  Format.printf
+    "The paper's Lesson 7 proposes pre-scanning a scannable collection before assembly.@.";
+  Format.printf "Enabling the implemented rule improves the paper's own optimal Query 1 plan:@.";
+  let base = optimize Q.q1 in
+  let warm = optimize ~options:(Options.with_warm_start Options.default) Q.q1 in
+  Format.printf "  all paper rules:        %a@." Cost.pp (Opt.cost base);
+  Format.printf "  + warm-start assembly:  %a@." Cost.pp (Opt.cost warm);
+  show_plan "Query 1 plan with warm-start enabled" warm;
+  subsection "Execution on the generated database";
+  ignore (execute "paper-optimal plan" (Opt.plan_exn base));
+  ignore (execute "warm-start plan" (Opt.plan_exn warm))
+
+let ablation_merge_join () =
+  section "Extension: merge join and the sort-order property (beyond the paper)";
+  Format.printf
+    "The paper's optimizer 'currently does not use merge-join'; this implementation adds it.@.";
+  Format.printf
+    "Resolving task team members against Employees with hash/pointer joins and@.";
+  Format.printf
+    "assembly disabled: only merge join remains, with the Employees file scan@.";
+  Format.printf
+    "delivering identity order for free and a sort enforcer on the member side.@.";
+  let member_query =
+    Oodb_algebra.Logical.(
+      get ~coll:"Tasks" ~binding:"t"
+      |> unnest ~out:"m" ~src:"t" ~field:"team_members"
+      |> mat_ref ~out:"e" ~src:"m"
+      |> select
+           [ Oodb_algebra.Pred.atom Oodb_algebra.Pred.Ge
+               (Oodb_algebra.Pred.Field ("e", "age"))
+               (Oodb_algebra.Pred.Const (Oodb_storage.Value.Int 40)) ])
+  in
+  let options =
+    List.fold_left (fun o r -> Options.disable r o) Options.default
+      [ "hash-join"; "pointer-join"; "mat-assembly" ]
+  in
+  let outcome = optimize ~options member_query in
+  show_plan "member query via merge join" outcome;
+  Format.printf "vs the unrestricted optimum: %a@." Cost.pp
+    (Opt.cost (optimize member_query));
+  subsection "Execution on the generated database";
+  ignore (execute "merge-join plan" (Opt.plan_exn outcome))
+
+(* Optimization-time microbenchmarks ---------------------------------- *)
+
+let bechamel_benchmarks () =
+  section "Optimization-time microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let mk name ?(options = Options.default) q =
+    Test.make ~name (Staged.stage (fun () -> ignore (Opt.optimize ~options cat q)))
+  in
+  let greedy_cat = cat in
+  let tests =
+    [ mk "table2/q1-all-rules" Q.q1;
+      mk "table2/q1-wo-mat-to-join" ~options:(Options.disable "mat-to-join" Options.default) Q.q1;
+      mk "table2/q1-wo-window"
+        ~options:(Options.with_assembly_window 1 (Options.disable "mat-to-join" Options.default))
+        Q.q1;
+      mk "fig8/q2-index-collapse" Q.q2;
+      mk "fig9/q2-wo-collapse" ~options:(Options.disable "collapse-index-scan" Options.default)
+        Q.q2;
+      mk "fig10/q3-enforcer" Q.q3;
+      mk "fig12/q4-cost-based" Q.q4;
+      Test.make ~name:"fig13/q4-greedy"
+        (Staged.stage (fun () -> ignore (Greedy.optimize greedy_cat Q.q4)));
+      mk "fig2/multi-path-expression" Q.fig2;
+      (let deep =
+         Oodb_algebra.Logical.(
+           get ~coll:"Cities" ~binding:"c"
+           |> mat ~src:"c" ~field:"mayor"
+           |> mat ~src:"c" ~field:"country"
+           |> mat ~src:"c.country" ~field:"president"
+           |> mat ~src:"c.country" ~field:"capital"
+           |> select
+                [ Oodb_algebra.Pred.atom Oodb_algebra.Pred.Ge
+                    (Oodb_algebra.Pred.Field ("c.mayor", "age"))
+                    (Oodb_algebra.Pred.Const (Oodb_storage.Value.Int 30)) ])
+       in
+       mk "stress/four-link-path" deep);
+      Test.make ~name:"zql/parse-simplify"
+        (Staged.stage (fun () ->
+             ignore
+               (Zql.Simplify.compile cat
+                  {| SELECT c.name FROM c IN Cities WHERE c.mayor.name == "Joe" |}))) ]
+  in
+  let grouped = Test.make_grouped ~name:"opt" ~fmt:"%s %s" tests in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  Format.printf "%-36s %14s@." "benchmark" "per opt [ms]";
+  rows
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, est) ->
+         match Analyze.OLS.estimates est with
+         | Some [ ns ] -> Format.printf "%-36s %14.3f@." name (ns /. 1e6)
+         | _ -> Format.printf "%-36s %14s@." name "-")
+
+let () =
+  Format.printf "Open OODB query optimizer: reproduction of the SIGMOD'93 evaluation@.";
+  table1 ();
+  figures_2_to_5 ();
+  query1 ();
+  query2 ();
+  query3 ();
+  query4 ();
+  validation ();
+  ablation_window ();
+  ablation_buffer ();
+  ablation_selectivity ();
+  ablation_pruning ();
+  ablation_guidance ();
+  ablation_warm_start ();
+  ablation_merge_join ();
+  bechamel_benchmarks ();
+  Format.printf "@.done.@."

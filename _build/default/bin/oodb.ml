@@ -1,0 +1,236 @@
+(* Command-line driver for the Open OODB query optimizer.
+
+     oodb catalog                          print the Table 1 catalog
+     oodb rules                            list togglable rule names
+     oodb optimize "<zql>"                 simplify + optimize + explain
+     oodb optimize --paper q1              same for a built-in paper query
+     oodb memo --paper q2                  dump the memo after closure
+     oodb run "<zql>" [--scale 0.1]        optimize + execute on generated data
+     oodb greedy --paper q4                the ObjectStore-style greedy baseline
+     oodb analyze --scale 0.2              refresh catalog statistics from data *)
+
+module Value = Oodb_storage.Value
+module Logical = Oodb_algebra.Logical
+module Catalog = Oodb_catalog.Catalog
+module OC = Oodb_catalog.Open_oodb_catalog
+module Cost = Oodb_cost.Cost
+module Opt = Open_oodb.Optimizer
+module Options = Open_oodb.Options
+module Engine = Open_oodb.Model.Engine
+module Db = Oodb_exec.Db
+module Executor = Oodb_exec.Executor
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+
+let query_pos =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"ZQL query text.")
+
+let paper_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun (n, q) -> (n, q)) Oodb_workloads.Queries.all))) None
+    & info [ "paper"; "p" ] ~docv:"NAME"
+        ~doc:"Use a built-in paper query instead of ZQL text: $(b,q1), $(b,q2), $(b,q3), \
+              $(b,q4), $(b,fig2) or $(b,fig3).")
+
+let disable_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable"; "d" ] ~docv:"RULE"
+        ~doc:"Disable an optimizer rule (repeatable); see $(b,oodb rules).")
+
+let window_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "window"; "w" ] ~docv:"N" ~doc:"Assembly window of open references.")
+
+let no_pruning_arg =
+  Arg.(value & flag & info [ "no-pruning" ] ~doc:"Disable branch-and-bound cost limits.")
+
+let no_indexes_arg =
+  Arg.(value & flag & info [ "no-indexes" ] ~doc:"Hide all indexes from the optimizer.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale"; "s" ] ~docv:"S" ~doc:"Database scale factor (1.0 = paper's Table 1).")
+
+let limit_arg =
+  Arg.(value & opt int 10 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Rows to print.")
+
+let options_of disabled window no_pruning =
+  let options = Options.default in
+  let options = List.fold_left (fun o r -> Options.disable r o) options disabled in
+  let options = match window with Some w -> Options.with_assembly_window w options | None -> options in
+  { options with Options.pruning = not no_pruning }
+
+(* queries compile to a logical expression plus the required physical
+   properties an ORDER BY implies *)
+let compile_query catalog paper text =
+  match paper, text with
+  | Some q, _ -> Ok (q, Open_oodb.Physprop.empty)
+  | None, Some text -> (
+    match Zql.Simplify.compile_ordered catalog text with
+    | Error _ as e -> e
+    | Ok c ->
+      let required =
+        match c.Zql.Simplify.c_order with
+        | None -> Open_oodb.Physprop.empty
+        | Some (ord_binding, ord_field) ->
+          { Open_oodb.Physprop.empty with
+            Open_oodb.Physprop.order =
+              Some { Open_oodb.Physprop.ord_binding; ord_field } }
+      in
+      Ok (c.Zql.Simplify.c_logical, required))
+  | None, None -> Error "no query given: pass ZQL text or --paper NAME"
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+
+let catalog_cmd =
+  let run () =
+    let cat = OC.catalog_with_indexes () in
+    Format.printf "%a" Catalog.pp_table cat;
+    Format.printf "@.Indexes:@.";
+    List.iter
+      (fun ix ->
+        Format.printf "  %-22s on %s(%s), %d distinct keys@." ix.Catalog.ix_name
+          ix.Catalog.ix_coll
+          (String.concat "." ix.Catalog.ix_path)
+          ix.Catalog.ix_distinct)
+      (Catalog.indexes cat)
+  in
+  Cmd.v (Cmd.info "catalog" ~doc:"Print the Table 1 catalog and its indexes.")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+let rules_cmd =
+  let run () =
+    Format.printf "transformation rules:@.";
+    List.iter (Format.printf "  %s@.") Open_oodb.Trules.names;
+    Format.printf "implementation rules:@.";
+    List.iter (Format.printf "  %s@.") Open_oodb.Irules.names;
+    Format.printf "enforcers:@.";
+    List.iter (Format.printf "  %s@.") Open_oodb.Enforcers.names
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List all togglable optimizer rules.")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+let optimize_run paper text disabled window no_pruning no_indexes =
+  let cat = if no_indexes then OC.catalog () else OC.catalog_with_indexes () in
+  match compile_query cat paper text with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok (q, required) ->
+    Format.printf "optimizer input:@.%a@.@." Logical.pp q;
+    let options = options_of disabled window no_pruning in
+    let outcome = Opt.optimize ~options ~required cat q in
+    Format.printf "%s" (Opt.explain outcome);
+    0
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Simplify, optimize and explain a query.")
+    Term.(
+      const optimize_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
+      $ no_indexes_arg)
+
+let memo_run paper text disabled =
+  let cat = OC.catalog_with_indexes () in
+  match compile_query cat paper text with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok (q, required) ->
+    let options = options_of disabled None false in
+    let outcome = Opt.optimize ~options ~required cat q in
+    Format.printf "%a" Engine.pp_memo outcome.Opt.memo;
+    Format.printf "root group: %d@." outcome.Opt.root;
+    0
+
+let memo_cmd =
+  Cmd.v
+    (Cmd.info "memo" ~doc:"Dump the memo (all groups and multi-expressions) after closure.")
+    Term.(const memo_run $ paper_arg $ query_pos $ disable_arg)
+
+let run_run paper text disabled window no_pruning scale limit =
+  let db = Oodb_workloads.Datagen.generate ~scale () in
+  let cat = Db.catalog db in
+  match compile_query cat paper text with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok (q, required) ->
+    let options = options_of disabled window no_pruning in
+    let outcome = Opt.optimize ~options ~required cat q in
+    let plan = Opt.plan_exn outcome in
+    Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp (Opt.cost outcome);
+    let rows, report = Executor.run_measured db plan in
+    Format.printf "%a@.@." Executor.pp_report report;
+    List.iteri
+      (fun i row ->
+        if i < limit then
+          Format.printf "%s@."
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Value.to_string v)) row)))
+      rows;
+    if List.length rows > limit then Format.printf "... (%d rows)@." (List.length rows);
+    0
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize a query and execute it on a generated database.")
+    Term.(
+      const run_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
+      $ scale_arg $ limit_arg)
+
+let greedy_run paper text =
+  let cat = OC.catalog_with_indexes () in
+  match compile_query cat paper text with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok (q, _required) -> (
+    match Oodb_baselines.Greedy.optimize cat q with
+    | Error m ->
+      Format.eprintf "greedy: %s@." m;
+      1
+    | Ok plan ->
+      Format.printf "greedy plan:@.%a@.anticipated cost: %a@." Engine.pp_plan plan Cost.pp
+        plan.Engine.cost;
+      let full = Opt.optimize cat q in
+      Format.printf "cost-based optimum: %a (%.1fx better)@." Cost.pp (Opt.cost full)
+        (Cost.total plan.Engine.cost /. Cost.total (Opt.cost full));
+      0)
+
+let analyze_run scale =
+  let db = Oodb_workloads.Datagen.generate ~scale () in
+  let report = Oodb_exec.Analyze.refresh db in
+  Format.printf "%a@.@." Oodb_exec.Analyze.pp_report report;
+  Format.printf "%a" Catalog.pp_table (Db.catalog db);
+  Format.printf "@.Refreshed index statistics:@.";
+  List.iter
+    (fun ix ->
+      Format.printf "  %-22s %d distinct keys@." ix.Catalog.ix_name ix.Catalog.ix_distinct)
+    (Catalog.indexes (Db.catalog db));
+  0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Generate a database and refresh its catalog statistics from the stored data.")
+    Term.(const analyze_run $ scale_arg)
+
+let greedy_cmd =
+  Cmd.v
+    (Cmd.info "greedy" ~doc:"Run the ObjectStore-style greedy baseline and compare.")
+    Term.(const greedy_run $ paper_arg $ query_pos)
+
+let () =
+  let doc = "The Open OODB query optimizer (SIGMOD 1993 reproduction)" in
+  let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+          [ catalog_cmd; rules_cmd; optimize_cmd; memo_cmd; run_cmd; greedy_cmd; analyze_cmd ]))

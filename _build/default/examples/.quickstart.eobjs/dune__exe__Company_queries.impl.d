@@ -1,0 +1,1 @@
+examples/company_queries.ml: Format List Oodb_cost Oodb_exec Oodb_workloads Open_oodb Zql

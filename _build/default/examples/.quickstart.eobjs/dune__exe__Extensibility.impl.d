@@ -1,0 +1,1 @@
+examples/extensibility.ml: Format List Oodb_algebra Oodb_catalog Oodb_cost Oodb_storage Open_oodb

@@ -1,0 +1,1 @@
+examples/geo_queries.ml: Format Oodb_catalog Oodb_cost Oodb_exec Oodb_workloads Open_oodb Zql

@@ -1,0 +1,1 @@
+examples/project_tasks.ml: Format List Oodb_algebra Oodb_baselines Oodb_catalog Oodb_cost Oodb_exec Oodb_storage Oodb_workloads Open_oodb Printf Zql

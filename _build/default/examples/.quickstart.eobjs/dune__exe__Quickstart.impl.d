@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Oodb_algebra Oodb_exec Oodb_storage Oodb_workloads Open_oodb Printf String Zql

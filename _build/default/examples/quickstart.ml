@@ -1,0 +1,51 @@
+(* Quickstart: the whole pipeline in one page.
+
+   1. generate a synthetic database matching the paper's Table 1;
+   2. write a query in ZQL (the paper's ZQL[C++] dialect);
+   3. simplify it into the optimizable algebra (Mat chains etc.);
+   4. optimize with the Volcano-based Open OODB optimizer;
+   5. execute the plan on the simulated store.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Db = Oodb_exec.Db
+module Executor = Oodb_exec.Executor
+module Opt = Open_oodb.Optimizer
+module Value = Oodb_storage.Value
+
+let () =
+  (* 1. a small database (scale 0.1 keeps this instant) *)
+  let db = Oodb_workloads.Datagen.generate ~scale:0.1 () in
+  let catalog = Db.catalog db in
+
+  (* 2. the query: employees working in a Dallas plant *)
+  let text =
+    {| SELECT Newobject(e.name, e.dept.name)
+       FROM Employee e IN Employees
+       WHERE e.dept.plant.location == "Dallas" && e.age >= 30 |}
+  in
+  Format.printf "ZQL query:@.%s@.@." text;
+
+  (* 3. simplification: paths become explicit Mat operators *)
+  let logical =
+    match Zql.Simplify.compile catalog text with
+    | Ok q -> q
+    | Error m -> failwith m
+  in
+  Format.printf "optimizer input (logical algebra):@.%a@.@." Oodb_algebra.Logical.pp logical;
+
+  (* 4. cost-based optimization *)
+  let outcome = Opt.optimize catalog logical in
+  Format.printf "optimal physical plan:@.%s@." (Opt.explain outcome);
+
+  (* 5. execution *)
+  let rows, report = Executor.run_measured db (Opt.plan_exn outcome) in
+  Format.printf "executed: %a@.@." Executor.pp_report report;
+  List.iteri
+    (fun i row ->
+      if i < 5 then
+        Format.printf "  %s@."
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s = %s" k (Value.to_string v)) row)))
+    rows;
+  if List.length rows > 5 then Format.printf "  ... (%d rows total)@." (List.length rows)

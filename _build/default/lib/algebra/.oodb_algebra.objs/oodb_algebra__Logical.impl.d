@@ -1,0 +1,1 @@
+lib/algebra/logical.ml: Format Hashtbl List Oodb_catalog Oodb_util Pred Result Stdlib

@@ -1,0 +1,1 @@
+lib/algebra/logical.mli: Format Oodb_catalog Oodb_util Pred

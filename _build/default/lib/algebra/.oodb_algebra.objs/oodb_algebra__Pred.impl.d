@@ -1,0 +1,1 @@
+lib/algebra/pred.ml: Format Hashtbl List Oodb_storage Stdlib

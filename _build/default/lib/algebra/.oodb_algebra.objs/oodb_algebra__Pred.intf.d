@@ -1,0 +1,1 @@
+lib/algebra/pred.mli: Format Oodb_storage

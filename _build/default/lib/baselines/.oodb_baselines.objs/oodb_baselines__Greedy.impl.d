@@ -1,0 +1,1 @@
+lib/baselines/greedy.ml: Float Hashtbl List Oodb_algebra Oodb_catalog Oodb_cost Open_oodb Option Printf

@@ -1,0 +1,1 @@
+lib/baselines/greedy.mli: Oodb_algebra Oodb_catalog Oodb_cost Open_oodb

@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: List Oodb_cost Open_oodb

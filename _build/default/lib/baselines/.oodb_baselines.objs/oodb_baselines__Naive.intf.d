@@ -1,0 +1,1 @@
+lib/baselines/naive.mli: Oodb_algebra Oodb_catalog Oodb_cost Open_oodb

@@ -1,0 +1,335 @@
+module Logical = Oodb_algebra.Logical
+module Pred = Oodb_algebra.Pred
+module Catalog = Oodb_catalog.Catalog
+module Schema = Oodb_catalog.Schema
+module Config = Oodb_cost.Config
+module Cost = Oodb_cost.Cost
+module Lprops = Oodb_cost.Lprops
+module Estimator = Oodb_cost.Estimator
+module Physical = Open_oodb.Physical
+module Physprop = Open_oodb.Physprop
+module Costmodel = Open_oodb.Costmodel
+module Engine = Open_oodb.Model.Engine
+module Bset = Physprop.Bset
+
+type parts = {
+  base_coll : string;
+  base_binding : string;
+  steps : step list; (* bottom-up *)
+  atoms : Pred.atom list;
+  projs : Logical.proj list option;
+}
+
+and step =
+  | S_mat of string * string option * string (* src, field, out *)
+  | S_unnest of string * string * string
+
+let decompose expr =
+  let rec go (t : Logical.t) steps atoms projs =
+    match t.Logical.op, t.Logical.inputs with
+    | Logical.Project ps, [ input ] when projs = None -> go input steps atoms (Some ps)
+    | Logical.Select p, [ input ] -> go input steps (atoms @ p) projs
+    | Logical.Mat { src; field; out }, [ input ] ->
+      go input (S_mat (src, field, out) :: steps) atoms projs
+    | Logical.Unnest { src; field; out }, [ input ] ->
+      go input (S_unnest (src, field, out) :: steps) atoms projs
+    | Logical.Get { coll; binding }, [] ->
+      Ok { base_coll = coll; base_binding = binding; steps; atoms; projs }
+    | _ -> Error "greedy optimizer: unsupported query shape"
+  in
+  go expr [] [] None
+
+(* Root-relative index path of each binding (bindings past an Unnest have
+   none: path indexes do not span set-valued components here). *)
+let index_paths parts =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.add tbl parts.base_binding [];
+  List.iter
+    (fun step ->
+      match step with
+      | S_mat (src, field, out) -> (
+        match Hashtbl.find_opt tbl src, field with
+        | Some base, Some f -> Hashtbl.add tbl out (base @ [ f ])
+        | Some base, None -> Hashtbl.add tbl out base
+        | None, _ -> ())
+      | S_unnest _ -> ())
+    parts.steps;
+  tbl
+
+(* A plan node under construction: the physical plan plus the logical
+   properties and in-memory set used for costing downstream nodes. *)
+type node = {
+  plan : Engine.plan;
+  lp : Lprops.t;
+  mem : Bset.t;
+}
+
+let mk alg children ~local ~lp ~mem =
+  { plan =
+      { Engine.alg;
+        children = List.map (fun n -> n.plan) children;
+        cost = List.fold_left (fun acc n -> Cost.add acc n.plan.Engine.cost) local children;
+        delivered = { Physprop.in_memory = mem; order = None } };
+    lp;
+    mem }
+
+let optimize ?(config = Config.default) cat expr =
+  (* the same argument-transformation pass the cost-based optimizer runs,
+     so degenerate conjunctions are estimated identically *)
+  let expr = Open_oodb.Argtrans.expr expr in
+  match decompose expr with
+  | Error _ as e -> e
+  | Ok parts -> (
+    match Catalog.find_collection cat parts.base_coll with
+    | None -> Error (Printf.sprintf "unknown collection %s" parts.base_coll)
+    | Some base_co ->
+      let paths = index_paths parts in
+      let indexed_atom (a : Pred.atom) =
+        (* (atom, binding, index) for conjuncts an index on the base
+           collection covers *)
+        match a.Pred.cmp, a.Pred.lhs, a.Pred.rhs with
+        | Pred.Eq, Pred.Field (b, f), Pred.Const v | Pred.Eq, Pred.Const v, Pred.Field (b, f)
+          -> (
+          match Hashtbl.find_opt paths b with
+          | Some base -> (
+            match Catalog.find_index cat ~coll:parts.base_coll ~path:(base @ [ f ]) with
+            | Some ix -> Some (ix, v)
+            | None -> None)
+          | None -> None)
+        | _ -> None
+      in
+      (* 1. base access: first conjunct with a covering index wins *)
+      let primary =
+        List.find_map (fun a -> Option.map (fun hit -> (a, hit)) (indexed_atom a)) parts.atoms
+      in
+      let derive op inputs = Estimator.derive config cat op inputs in
+      let base_lp = derive (Logical.Get { coll = parts.base_coll; binding = parts.base_binding }) [] in
+      let base_node, consumed_primary =
+        match primary with
+        | Some (a, (ix, key)) ->
+          let matches =
+            float_of_int base_co.Catalog.co_card
+            /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct)
+          in
+          let lp = { base_lp with Lprops.card = matches } in
+          ( mk
+              (Physical.Index_scan
+                 { coll = parts.base_coll;
+                   binding = parts.base_binding;
+                   index = ix.Catalog.ix_name;
+                   key;
+                   residual = [];
+                   derefs = [] })
+              []
+              ~local:(Costmodel.index_scan config ~coll:base_co ~matches ~residual_atoms:0)
+              ~lp
+              ~mem:(Bset.singleton parts.base_binding),
+            [ a ] )
+        | None ->
+          ( mk
+              (Physical.File_scan { coll = parts.base_coll; binding = parts.base_binding })
+              []
+              ~local:(Costmodel.file_scan config base_co)
+              ~lp:base_lp
+              ~mem:(Bset.singleton parts.base_binding),
+            [] )
+      in
+      let remaining_atoms = List.filter (fun a -> not (List.memq a consumed_primary)) parts.atoms in
+      (* 2. for each remaining indexed conjunct over a step output whose
+         class has its own indexed scannable collection: index scan +
+         hash join, consuming that step's Mat *)
+      let class_env =
+        (* binding -> class for every binding the pipeline introduces *)
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add tbl parts.base_binding base_co.Catalog.co_class;
+        List.iter
+          (fun step ->
+            match step with
+            | S_mat (src, field, out) -> (
+              match Hashtbl.find_opt tbl src, field with
+              | Some cls, Some f -> (
+                match Schema.follow (Catalog.schema cat) ~cls f with
+                | Some c -> Hashtbl.add tbl out c
+                | None -> ())
+              | Some cls, None -> Hashtbl.add tbl out cls
+              | None, _ -> ())
+            | S_unnest (src, field, out) -> (
+              match Hashtbl.find_opt tbl src with
+              | Some cls -> (
+                match
+                  Option.bind (Schema.attr_ty (Catalog.schema cat) ~cls field) Schema.ref_target
+                with
+                | Some c -> Hashtbl.add tbl out c
+                | None -> ())
+              | None -> ()))
+          parts.steps;
+        tbl
+      in
+      let mat_outputs =
+        List.filter_map (function S_mat (_, _, out) -> Some out | S_unnest _ -> None)
+          parts.steps
+      in
+      let join_for_atom (a : Pred.atom) =
+        match a.Pred.cmp, a.Pred.lhs, a.Pred.rhs with
+        | Pred.Eq, Pred.Field (b, f), Pred.Const v | Pred.Eq, Pred.Const v, Pred.Field (b, f)
+          -> (
+          (* only step outputs can be replaced by an index-scan join; the
+             base binding is handled by the primary access path *)
+          if not (List.mem b mat_outputs) then None
+          else
+            match Hashtbl.find_opt class_env b with
+            | None -> None
+            | Some cls -> (
+              match Catalog.scannables_of_class cat cls with
+              | co :: _ -> (
+                match Catalog.find_index cat ~coll:co.Catalog.co_name ~path:[ f ] with
+                | Some ix -> Some (a, b, co, ix, v)
+                | None -> None)
+              | [] -> None))
+        | _ -> None
+      in
+      (* at most one join per binding: extra indexable conjuncts on the
+         same component stay as ordinary filters *)
+      let joins =
+        List.fold_left
+          (fun acc a ->
+            match join_for_atom a with
+            | Some ((_, b, _, _, _) as j) when not (List.exists (fun (_, b', _, _, _) -> b' = b) acc)
+              -> j :: acc
+            | _ -> acc)
+          [] remaining_atoms
+        |> List.rev
+      in
+      let join_bindings = List.map (fun (_, b, _, _, _) -> b) joins in
+      let remaining_atoms =
+        List.filter (fun a -> not (List.exists (fun (a', _, _, _, _) -> a == a') joins))
+          remaining_atoms
+      in
+      (* 3. pipeline: steps in original order; Mats consumed by joins
+         become hash joins against their index scans. Conjuncts are
+         applied eagerly, as soon as the objects they read are present —
+         greedy in evaluation order, like the strategy it models. *)
+      let window = config.Config.assembly_window in
+      let pending = ref remaining_atoms in
+      let apply_ready node =
+        let scope = List.map fst node.lp.Lprops.bindings in
+        let ready, later =
+          List.partition
+            (fun a ->
+              List.for_all (fun b -> Bset.mem b node.mem) (Pred.memory_bindings [ a ])
+              && List.for_all (fun b -> List.mem b scope) (Pred.bindings [ a ]))
+            !pending
+        in
+        pending := later;
+        if ready = [] then node
+        else
+          let lp = derive (Logical.Select ready) [ node.lp ] in
+          mk (Physical.Filter ready) [ node ]
+            ~local:
+              (Costmodel.filter config ~card:node.lp.Lprops.card ~atoms:(List.length ready))
+            ~lp ~mem:node.mem
+      in
+      let pipeline =
+        List.fold_left
+          (fun node step ->
+            apply_ready
+            @@
+            match step with
+            | S_unnest (src, field, out) ->
+              let lp = derive (Logical.Unnest { src; field; out }) [ node.lp ] in
+              mk (Physical.Alg_unnest { src; field; out }) [ node ] ~lp
+                ~local:(Costmodel.alg_unnest config ~in_card:node.lp.Lprops.card
+                          ~out_card:lp.Lprops.card)
+                ~mem:node.mem
+            | S_mat (src, field, out) when List.mem out join_bindings ->
+              let a, _, co, ix, v =
+                List.find (fun (_, b, _, _, _) -> b = out) joins
+              in
+              let matches =
+                float_of_int co.Catalog.co_card
+                /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct)
+              in
+              let build_lp =
+                { Lprops.card = matches;
+                  bindings =
+                    [ ( out,
+                        { Lprops.b_class = co.Catalog.co_class;
+                          b_bytes = float_of_int co.Catalog.co_obj_bytes;
+                          b_source = Lprops.From_get co.Catalog.co_name } ) ] }
+              in
+              let build =
+                mk
+                  (Physical.Index_scan
+                     { coll = co.Catalog.co_name;
+                       binding = out;
+                       index = ix.Catalog.ix_name;
+                       key = v;
+                       residual = [];
+                       derefs = [] })
+                  []
+                  ~local:(Costmodel.index_scan config ~coll:co ~matches ~residual_atoms:0)
+                  ~lp:build_lp
+                  ~mem:(Bset.singleton out)
+              in
+              ignore a;
+              let link =
+                match field with
+                | Some f -> Pred.atom Pred.Eq (Pred.Field (src, f)) (Pred.Self out)
+                | None -> Pred.atom Pred.Eq (Pred.Self src) (Pred.Self out)
+              in
+              let lp =
+                derive (Logical.Join [ link ]) [ node.lp; build_lp ]
+              in
+              let mem = Bset.add out node.mem in
+              mk (Physical.Hash_join [ link ]) [ build; node ]
+                ~local:
+                  (Costmodel.hash_join config ~build_card:build_lp.Lprops.card
+                     ~build_bytes:
+                       ((float_of_int co.Catalog.co_obj_bytes +. 16.0) *. build_lp.Lprops.card)
+                     ~probe_card:node.lp.Lprops.card
+                     ~probe_bytes:
+                       ((Lprops.bytes_of node.lp (Bset.elements node.mem) +. 16.0)
+                       *. node.lp.Lprops.card)
+                     ~out_card:lp.Lprops.card ~atoms:1)
+                ~lp ~mem
+            | S_mat (src, field, out) ->
+              let lp = derive (Logical.Mat { src; field; out }) [ node.lp ] in
+              let target_cls =
+                match Lprops.class_of lp out with Some c -> c | None -> "?"
+              in
+              let mem = Bset.add out node.mem in
+              mk
+                (Physical.Assembly
+                   { paths = [ { Physical.ap_src = src; ap_field = field; ap_out = out } ];
+                     window;
+                     warm = None })
+                [ node ]
+                ~local:
+                  (Costmodel.assembly config cat ~window ~stream_card:node.lp.Lprops.card
+                     ~targets:[ target_cls ])
+                ~lp ~mem)
+          (apply_ready base_node) parts.steps
+      in
+      let pipeline = apply_ready pipeline in
+      (* 4. leftover conjuncts as a filter, then the projection *)
+      let with_filter =
+        match !pending with
+        | [] -> pipeline
+        | leftover ->
+          let lp = derive (Logical.Select leftover) [ pipeline.lp ] in
+          mk (Physical.Filter leftover) [ pipeline ]
+            ~local:
+              (Costmodel.filter config ~card:pipeline.lp.Lprops.card
+                 ~atoms:(List.length leftover))
+            ~lp ~mem:pipeline.mem
+      in
+      let final =
+        match parts.projs with
+        | None -> with_filter
+        | Some ps ->
+          let lp = derive (Logical.Project ps) [ with_filter.lp ] in
+          mk (Physical.Alg_project ps) [ with_filter ]
+            ~local:(Costmodel.alg_project config ~card:with_filter.lp.Lprops.card)
+            ~lp ~mem:with_filter.mem
+      in
+      Ok final.plan)

@@ -1,0 +1,26 @@
+(** An ObjectStore-style greedy optimizer (paper §2 and §4): a "fixed,
+    greedy strategy designed to exploit any available indexes", with no
+    cost model and no algebraic search.
+
+    The strategy, applied to a simplified single-collection pipeline:
+
+    + if any selection conjunct is covered by a (possibly path) index on
+      the scanned collection, replace the file scan with an index scan —
+      first match wins;
+    + for {e every} remaining indexed conjunct over a materialized
+      component whose class has its own scannable collection, probe that
+      index and hash-join the result into the pipeline (this is how the
+      paper's Figure 13 uses both the [time] and the [name] index);
+    + everything left is naive: Mats become assemblies in their original
+      order, remaining conjuncts become filters on top.
+
+    The returned plan carries costs from the same cost model the real
+    optimizer uses, so the two are directly comparable (Table 3's
+    "Greedy use" row). Queries outside the supported shape (multiple
+    collection ranges, set operators) are rejected. *)
+
+val optimize :
+  ?config:Oodb_cost.Config.t ->
+  Oodb_catalog.Catalog.t ->
+  Oodb_algebra.Logical.t ->
+  (Open_oodb.Model.Engine.plan, string) result

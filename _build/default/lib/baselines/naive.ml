@@ -1,0 +1,14 @@
+module Options = Open_oodb.Options
+
+let disabled_rules =
+  Open_oodb.Trules.names
+  @ [ "collapse-index-scan"; "hash-join"; "pointer-join"; "sort-enforcer" ]
+
+let options ?(config = Oodb_cost.Config.default) () =
+  List.fold_left
+    (fun opts name -> Options.disable name opts)
+    (Options.with_config config Options.default)
+    disabled_rules
+
+let optimize ?config cat expr =
+  Open_oodb.Optimizer.optimize ~options:(options ?config ()) cat expr

@@ -1,0 +1,17 @@
+(** The "naive pointer chasing" strategy: a direct translation of the
+    simplified algebra with no transformations, no indexes, and no join
+    algorithms — every Mat becomes an assembly over the unmodified
+    pipeline ("goto's on disk", paper §4).
+
+    Expressed as a rule subset of the real optimizer: all transformation
+    rules and every implementation rule except scan / filter / assembly /
+    unnest / project are disabled, so the search engine can only cost the
+    one direct plan. *)
+
+val options : ?config:Oodb_cost.Config.t -> unit -> Open_oodb.Options.t
+
+val optimize :
+  ?config:Oodb_cost.Config.t ->
+  Oodb_catalog.Catalog.t ->
+  Oodb_algebra.Logical.t ->
+  Open_oodb.Optimizer.outcome

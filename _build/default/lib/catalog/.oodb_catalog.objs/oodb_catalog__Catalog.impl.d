@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Format Hashtbl List Printf Schema

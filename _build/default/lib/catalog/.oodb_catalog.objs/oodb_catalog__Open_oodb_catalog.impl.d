@@ -1,0 +1,1 @@
+lib/catalog/open_oodb_catalog.ml: Catalog List Schema

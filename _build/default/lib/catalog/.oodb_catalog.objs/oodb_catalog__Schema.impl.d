@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Format Hashtbl List Option Printf

@@ -1,0 +1,93 @@
+type coll_kind = Set | Extent | Hidden
+
+type collection = {
+  co_name : string;
+  co_class : string;
+  co_kind : coll_kind;
+  co_card : int;
+  co_obj_bytes : int;
+}
+
+type index_def = {
+  ix_name : string;
+  ix_coll : string;
+  ix_path : string list;
+  ix_distinct : int;
+}
+
+type t = {
+  schema : Schema.t;
+  colls : (string, collection) Hashtbl.t;
+  mutable coll_order : collection list; (* reverse insertion order *)
+  mutable indexes : index_def list;
+  distinct_tbl : (string * string, int) Hashtbl.t;
+  set_size_tbl : (string * string, float) Hashtbl.t;
+}
+
+let create schema =
+  { schema;
+    colls = Hashtbl.create 16;
+    coll_order = [];
+    indexes = [];
+    distinct_tbl = Hashtbl.create 32;
+    set_size_tbl = Hashtbl.create 8 }
+
+let schema t = t.schema
+
+let add_collection t co =
+  if Hashtbl.mem t.colls co.co_name then
+    invalid_arg (Printf.sprintf "Catalog.add_collection: duplicate %s" co.co_name);
+  if Schema.find_class t.schema co.co_class = None then
+    invalid_arg (Printf.sprintf "Catalog.add_collection: unknown class %s" co.co_class);
+  Hashtbl.add t.colls co.co_name co;
+  t.coll_order <- co :: t.coll_order
+
+let collections t = List.rev t.coll_order
+
+let find_collection t name = Hashtbl.find_opt t.colls name
+
+let scannables_of_class t cls =
+  collections t
+  |> List.filter (fun co -> co.co_class = cls && co.co_kind <> Hidden)
+
+let class_cardinality t cls =
+  match scannables_of_class t cls with
+  | [] -> None
+  | cos -> Some (List.fold_left (fun acc co -> max acc co.co_card) 0 cos)
+
+let set_distinct t ~cls ~field n = Hashtbl.replace t.distinct_tbl (cls, field) n
+
+let distinct t ~cls ~field = Hashtbl.find_opt t.distinct_tbl (cls, field)
+
+let set_avg_set_size t ~cls ~field n = Hashtbl.replace t.set_size_tbl (cls, field) n
+
+let avg_set_size t ~cls ~field =
+  match Hashtbl.find_opt t.set_size_tbl (cls, field) with
+  | Some n -> n
+  | None -> 10.0
+
+let add_index t ix =
+  if List.exists (fun i -> i.ix_name = ix.ix_name) t.indexes then
+    invalid_arg (Printf.sprintf "Catalog.add_index: duplicate %s" ix.ix_name);
+  if not (Hashtbl.mem t.colls ix.ix_coll) then
+    invalid_arg (Printf.sprintf "Catalog.add_index: unknown collection %s" ix.ix_coll);
+  t.indexes <- t.indexes @ [ ix ]
+
+let drop_index t name = t.indexes <- List.filter (fun i -> i.ix_name <> name) t.indexes
+
+let indexes t = t.indexes
+
+let indexes_on t ~coll = List.filter (fun i -> i.ix_coll = coll) t.indexes
+
+let find_index t ~coll ~path =
+  List.find_opt (fun i -> i.ix_coll = coll && i.ix_path = path) t.indexes
+
+let kind_name = function Set -> "set" | Extent -> "extent" | Hidden -> "(none)"
+
+let pp_table ppf t =
+  Format.fprintf ppf "%-12s %-18s %-8s %10s %10s@." "Type" "Collection" "Kind" "Card." "Obj[bytes]";
+  List.iter
+    (fun co ->
+      Format.fprintf ppf "%-12s %-18s %-8s %10d %10d@." co.co_class co.co_name
+        (kind_name co.co_kind) co.co_card co.co_obj_bytes)
+    (collections t)

@@ -1,0 +1,70 @@
+type attr_ty =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+  | Ref of string
+  | Set_of of attr_ty
+
+type attr = { a_name : string; a_ty : attr_ty }
+
+type class_def = { cl_name : string; cl_attrs : attr list }
+
+type t = { by_name : (string, class_def) Hashtbl.t; order : class_def list }
+
+let rec ref_target = function
+  | Ref cls -> Some cls
+  | Set_of ty -> ref_target ty
+  | Bool | Int | Float | String | Date -> None
+
+let create defs =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun cd ->
+      if Hashtbl.mem by_name cd.cl_name then
+        invalid_arg (Printf.sprintf "Schema.create: duplicate class %s" cd.cl_name);
+      Hashtbl.add by_name cd.cl_name cd)
+    defs;
+  List.iter
+    (fun cd ->
+      List.iter
+        (fun a ->
+          match ref_target a.a_ty with
+          | Some target when not (Hashtbl.mem by_name target) ->
+            invalid_arg
+              (Printf.sprintf "Schema.create: %s.%s references unknown class %s" cd.cl_name
+                 a.a_name target)
+          | Some _ | None -> ())
+        cd.cl_attrs)
+    defs;
+  { by_name; order = defs }
+
+let classes t = t.order
+
+let find_class t name = Hashtbl.find_opt t.by_name name
+
+let attr_ty t ~cls name =
+  match find_class t cls with
+  | None -> None
+  | Some cd ->
+    List.find_map (fun a -> if a.a_name = name then Some a.a_ty else None) cd.cl_attrs
+
+let follow t ~cls name = Option.bind (attr_ty t ~cls name) ref_target
+
+let rec resolve_path t ~cls = function
+  | [] -> None
+  | [ last ] -> attr_ty t ~cls last
+  | step :: rest -> (
+    match follow t ~cls step with
+    | Some next -> resolve_path t ~cls:next rest
+    | None -> None)
+
+let rec pp_attr_ty ppf = function
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Int -> Format.pp_print_string ppf "int"
+  | Float -> Format.pp_print_string ppf "float"
+  | String -> Format.pp_print_string ppf "string"
+  | Date -> Format.pp_print_string ppf "date"
+  | Ref cls -> Format.fprintf ppf "ref<%s>" cls
+  | Set_of ty -> Format.fprintf ppf "set<%a>" pp_attr_ty ty

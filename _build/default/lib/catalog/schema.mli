@@ -1,0 +1,43 @@
+(** Schema metadata: classes (object types) and their attributes.
+
+    The optimizer uses this to resolve path expressions (each step of
+    [c.country.president.name] must name a reference attribute except the
+    last) and to find the class reached by a path. *)
+
+type attr_ty =
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date
+  | Ref of string  (** reference to a class, by name *)
+  | Set_of of attr_ty
+
+type attr = { a_name : string; a_ty : attr_ty }
+
+type class_def = { cl_name : string; cl_attrs : attr list }
+
+type t
+
+val create : class_def list -> t
+(** @raise Invalid_argument on duplicate class names or dangling [Ref]s. *)
+
+val classes : t -> class_def list
+
+val find_class : t -> string -> class_def option
+
+val attr_ty : t -> cls:string -> string -> attr_ty option
+(** Type of one attribute of a class. *)
+
+val ref_target : attr_ty -> string option
+(** [Some cls] for [Ref cls] and [Set_of (Ref cls)]; [None] otherwise. *)
+
+val follow : t -> cls:string -> string -> string option
+(** Class reached by dereferencing a (possibly set-valued) reference
+    attribute; [None] if the attribute is missing or not a reference. *)
+
+val resolve_path : t -> cls:string -> string list -> attr_ty option
+(** Type at the end of a path whose intermediate steps are single-valued
+    references. *)
+
+val pp_attr_ty : Format.formatter -> attr_ty -> unit

@@ -1,0 +1,1 @@
+lib/core/argtrans.ml: List Oodb_algebra Oodb_storage

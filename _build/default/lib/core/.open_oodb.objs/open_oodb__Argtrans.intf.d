@@ -1,0 +1,1 @@
+lib/core/argtrans.mli: Oodb_algebra

@@ -1,0 +1,1 @@
+lib/core/costmodel.ml: Float List Oodb_catalog Oodb_cost

@@ -1,0 +1,1 @@
+lib/core/costmodel.mli: Oodb_catalog Oodb_cost

@@ -1,0 +1,1 @@
+lib/core/enforcers.ml: Costmodel Engine List Model Oodb_catalog Oodb_cost Physical Physprop

@@ -1,0 +1,1 @@
+lib/core/enforcers.mli: Model Oodb_catalog Oodb_cost

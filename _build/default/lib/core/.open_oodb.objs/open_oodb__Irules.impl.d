@@ -1,0 +1,1 @@
+lib/core/irules.ml: Costmodel Engine Float Hashtbl List Model Oodb_algebra Oodb_catalog Oodb_cost Option Physical Physprop

@@ -1,0 +1,1 @@
+lib/core/irules.mli: Model Oodb_catalog Oodb_cost

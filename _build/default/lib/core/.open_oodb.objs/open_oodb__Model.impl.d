@@ -1,0 +1,1 @@
+lib/core/model.ml: Hashtbl List Oodb_algebra Oodb_cost Physical Physprop Stdlib Volcano

@@ -1,0 +1,1 @@
+lib/core/model.mli: Oodb_algebra Oodb_cost Physical Physprop Volcano

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Argtrans Enforcers Engine Format Irules Model Oodb_algebra Oodb_catalog Oodb_cost Options Physprop Printf Sys Trules

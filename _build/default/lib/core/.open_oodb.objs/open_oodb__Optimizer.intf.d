@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Format Model Oodb_algebra Oodb_catalog Oodb_cost Options Physprop

@@ -1,0 +1,1 @@
+lib/core/options.ml: Enforcers Irules List Oodb_cost Printf Trules

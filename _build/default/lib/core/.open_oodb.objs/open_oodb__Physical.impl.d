@@ -1,0 +1,1 @@
+lib/core/physical.ml: Format Oodb_algebra Oodb_storage Physprop

@@ -1,0 +1,1 @@
+lib/core/physprop.ml: Format Hashtbl List Printf Set String

@@ -1,0 +1,1 @@
+lib/core/physprop.mli: Format Set

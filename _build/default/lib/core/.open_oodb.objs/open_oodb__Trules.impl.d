@@ -1,0 +1,1 @@
+lib/core/trules.ml: Engine List Model Oodb_algebra Oodb_catalog Oodb_cost

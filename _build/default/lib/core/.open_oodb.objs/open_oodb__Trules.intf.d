@@ -1,0 +1,1 @@
+lib/core/trules.mli: Model Oodb_catalog Oodb_cost

@@ -1,0 +1,81 @@
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+
+let false_atom = Pred.atom Pred.Eq (Pred.Const (Value.Bool true)) (Pred.Const (Value.Bool false))
+
+let holds cmp c =
+  match (cmp : Pred.cmp) with
+  | Pred.Eq -> c = 0
+  | Pred.Ne -> c <> 0
+  | Pred.Lt -> c < 0
+  | Pred.Le -> c <= 0
+  | Pred.Gt -> c > 0
+  | Pred.Ge -> c >= 0
+
+let atom (a : Pred.atom) =
+  match a.Pred.lhs, a.Pred.rhs with
+  | Pred.Const l, Pred.Const r ->
+    if holds a.Pred.cmp (Value.compare l r) then `True else `False
+  | lhs, rhs when lhs = rhs -> (
+    (* same operand on both sides: decided by the comparison's reflexivity *)
+    match a.Pred.cmp with
+    | Pred.Eq | Pred.Le | Pred.Ge -> `True
+    | Pred.Ne | Pred.Lt | Pred.Gt -> `False)
+  | Pred.Const _, (Pred.Field _ | Pred.Self _) ->
+    (* constants canonically on the right *)
+    `Keep (Pred.atom (Pred.flip a.Pred.cmp) a.Pred.rhs a.Pred.lhs)
+  | _ -> `Keep a
+
+let pred atoms =
+  let exception Contradiction in
+  try
+    let kept =
+      List.filter_map
+        (fun a ->
+          match atom a with
+          | `True -> None
+          | `False -> raise Contradiction
+          | `Keep a -> Some a)
+        atoms
+    in
+    (* dedup identical conjuncts *)
+    let kept =
+      List.fold_left (fun acc a -> if List.mem a acc then acc else a :: acc) [] kept
+      |> List.rev
+    in
+    (* x == c1 && x == c2 with distinct constants is unsatisfiable *)
+    let eq_consts =
+      List.filter_map
+        (fun (a : Pred.atom) ->
+          match a.Pred.cmp, a.Pred.lhs, a.Pred.rhs with
+          | Pred.Eq, operand, Pred.Const v -> Some (operand, v)
+          | _ -> None)
+        kept
+    in
+    List.iter
+      (fun (op1, v1) ->
+        List.iter
+          (fun (op2, v2) -> if op1 = op2 && not (Value.equal v1 v2) then raise Contradiction)
+          eq_consts)
+      eq_consts;
+    `Pred kept
+  with Contradiction -> `Contradiction
+
+let rec expr (t : Logical.t) =
+  let inputs = List.map expr t.Logical.inputs in
+  match t.Logical.op, inputs with
+  | Logical.Select p, [ input ] -> (
+    match pred p with
+    | `Pred [] -> input
+    | `Pred p' -> Logical.select p' input
+    | `Contradiction -> Logical.select [ false_atom ] input)
+  | Logical.Join p, [ l; r ] -> (
+    match pred p with
+    | `Pred p' -> Logical.join p' l r
+    | `Contradiction ->
+      (* keep equality links so downstream algorithms still apply, and
+         force emptiness with the canonical false conjunct *)
+      let links = List.filter (fun (a : Pred.atom) -> a.Pred.cmp = Pred.Eq) p in
+      Logical.join (links @ [ false_atom ]) l r)
+  | op, inputs -> { Logical.op; inputs }

@@ -1,0 +1,110 @@
+module Cost = Oodb_cost.Cost
+module Config = Oodb_cost.Config
+module Lprops = Oodb_cost.Lprops
+module Catalog = Oodb_catalog.Catalog
+
+let fi = float_of_int
+
+let file_scan (cfg : Config.t) (co : Catalog.collection) =
+  let pages = Config.pages cfg ~bytes:(fi co.Catalog.co_card *. fi co.Catalog.co_obj_bytes) in
+  Cost.make ~io:(pages *. cfg.Config.seq_io) ~cpu:(fi co.Catalog.co_card *. cfg.Config.cpu_tuple)
+
+let btree_height (cfg : Config.t) ~entries =
+  let fanout = Float.max 2.0 (fi (cfg.Config.page_bytes / 16)) in
+  let leaves = Float.max 1.0 (Float.ceil (entries /. fanout)) in
+  let rec levels pages acc =
+    if pages <= 1.0 then acc else levels (Float.ceil (pages /. fanout)) (acc + 1)
+  in
+  1 + levels leaves 0
+
+let index_scan (cfg : Config.t) ~(coll : Catalog.collection) ~matches ~residual_atoms =
+  let entries = fi coll.Catalog.co_card in
+  let height = fi (btree_height cfg ~entries) in
+  let fanout = Float.max 2.0 (fi (cfg.Config.page_bytes / 16)) in
+  let extra_leaves = Float.max 0.0 (Float.ceil (matches /. fanout) -. 1.0) in
+  let io =
+    (height *. cfg.Config.rand_io)
+    +. (extra_leaves *. cfg.Config.seq_io)
+    +. (matches *. cfg.Config.rand_io)
+  in
+  let cpu =
+    matches *. (cfg.Config.cpu_tuple +. (fi residual_atoms *. cfg.Config.cpu_pred))
+  in
+  Cost.make ~io ~cpu
+
+let filter (cfg : Config.t) ~card ~atoms =
+  Cost.cpu (card *. (cfg.Config.cpu_tuple +. (fi atoms *. cfg.Config.cpu_pred)))
+
+let hash_join (cfg : Config.t) ~build_card ~build_bytes ~probe_card ~probe_bytes ~out_card
+    ~atoms =
+  let cpu =
+    (* building costs a little more per tuple than probing, so ties break
+       toward the smaller input as the build side *)
+    ((build_card *. 1.2) +. probe_card) *. cfg.Config.cpu_hash
+    +. (probe_card *. fi atoms *. cfg.Config.cpu_pred)
+    +. (out_card *. cfg.Config.cpu_tuple)
+  in
+  let io =
+    if build_bytes <= fi cfg.Config.memory_bytes then 0.0
+    else
+      (* one partitioning pass: write and re-read both inputs *)
+      let pages =
+        Config.pages cfg ~bytes:build_bytes +. Config.pages cfg ~bytes:probe_bytes
+      in
+      2.0 *. pages *. cfg.Config.seq_io
+  in
+  Cost.make ~io ~cpu
+
+let merge_join (cfg : Config.t) ~left_card ~right_card ~out_card ~atoms =
+  Cost.cpu
+    (((left_card +. right_card) *. cfg.Config.cpu_tuple)
+    +. (out_card *. (cfg.Config.cpu_tuple +. (fi atoms *. cfg.Config.cpu_pred))))
+
+let deref_fetches cat ~target_cls ~stream_card =
+  match Catalog.class_cardinality cat target_cls with
+  | Some n -> Float.min stream_card (fi n)
+  | None -> stream_card
+
+let assembly (cfg : Config.t) cat ~window ~stream_card ~targets =
+  let per_fetch = Config.assembly_io cfg ~window in
+  List.fold_left
+    (fun acc cls ->
+      let fetches = deref_fetches cat ~target_cls:cls ~stream_card in
+      Cost.add acc
+        (Cost.make ~io:(fetches *. per_fetch) ~cpu:(stream_card *. cfg.Config.cpu_tuple)))
+    Cost.zero targets
+
+let warm_assembly (cfg : Config.t) cat ~(target_coll : Catalog.collection) ~stream_card =
+  ignore cat;
+  let pages =
+    Config.pages cfg
+      ~bytes:(fi target_coll.Catalog.co_card *. fi target_coll.Catalog.co_obj_bytes)
+  in
+  Cost.make
+    ~io:(pages *. cfg.Config.seq_io)
+    ~cpu:((fi target_coll.Catalog.co_card +. stream_card) *. cfg.Config.cpu_tuple)
+
+let pointer_join (cfg : Config.t) cat ~target_cls ~stream_card ~atoms =
+  let fetches = deref_fetches cat ~target_cls ~stream_card in
+  Cost.make
+    ~io:(fetches *. cfg.Config.rand_io)
+    ~cpu:(stream_card *. (cfg.Config.cpu_tuple +. (fi atoms *. cfg.Config.cpu_pred)))
+
+let alg_project (cfg : Config.t) ~card = Cost.cpu (card *. cfg.Config.cpu_tuple)
+
+let alg_unnest (cfg : Config.t) ~in_card ~out_card =
+  Cost.cpu ((in_card +. out_card) *. cfg.Config.cpu_tuple)
+
+let hash_setop (cfg : Config.t) ~left_card ~right_card ~out_card =
+  Cost.cpu
+    (((left_card +. right_card) *. cfg.Config.cpu_hash) +. (out_card *. cfg.Config.cpu_tuple))
+
+let sort (cfg : Config.t) ~card ~row_bytes =
+  let n = Float.max 2.0 card in
+  let cpu = 2.0 *. n *. Float.log n /. Float.log 2.0 *. cfg.Config.cpu_tuple in
+  let bytes = card *. row_bytes in
+  let io =
+    if bytes <= fi cfg.Config.memory_bytes then 0.0
+    else 2.0 *. Config.pages cfg ~bytes *. cfg.Config.seq_io
+  in
+  Cost.make ~io ~cpu

@@ -1,0 +1,76 @@
+(** Cost functions for the physical algorithms (anticipated execution
+    time in seconds, split into I/O and CPU).
+
+    The assembly/pointer-dereference formulas implement the paper's
+    estimation rule: when the referenced class has a scannable collection
+    the optimizer "can place an upper bound on the number of I/O
+    operations needed" (every object ends up buffered), otherwise it must
+    assume one fetch per reference — that assumption is what prices naive
+    pointer chasing of 50,000 plant references out of Query 1's plan. *)
+
+module Cost = Oodb_cost.Cost
+module Config = Oodb_cost.Config
+module Lprops = Oodb_cost.Lprops
+module Catalog = Oodb_catalog.Catalog
+
+val file_scan : Config.t -> Catalog.collection -> Cost.t
+
+val btree_height : Config.t -> entries:float -> int
+(** Simulated B+-tree height for an index of that many entries, matching
+    {!Oodb_storage.Btree_index}. *)
+
+val index_scan :
+  Config.t -> coll:Catalog.collection -> matches:float -> residual_atoms:int -> Cost.t
+(** Descent, leaf pages for [matches] entries, one random fetch per
+    matching object, residual predicate CPU. *)
+
+val filter : Config.t -> card:float -> atoms:int -> Cost.t
+
+val hash_join :
+  Config.t ->
+  build_card:float ->
+  build_bytes:float ->
+  probe_card:float ->
+  probe_bytes:float ->
+  out_card:float ->
+  atoms:int ->
+  Cost.t
+(** In-memory when the build side fits the memory budget; otherwise one
+    partitioning pass writing and re-reading both sides. *)
+
+val merge_join :
+  Config.t -> left_card:float -> right_card:float -> out_card:float -> atoms:int -> Cost.t
+(** Linear merge of two sorted inputs (sorting, when needed, is priced by
+    the sort enforcer). *)
+
+val deref_fetches : Catalog.t -> target_cls:string -> stream_card:float -> float
+(** Estimated I/O operations to dereference [stream_card] references to
+    objects of [target_cls]: bounded by the class cardinality when known
+    (paper's extent upper bound), the stream cardinality otherwise. *)
+
+val assembly :
+  Config.t ->
+  Catalog.t ->
+  window:int ->
+  stream_card:float ->
+  targets:string list ->
+  Cost.t
+(** One windowed dereference pass per target class in [targets]. *)
+
+val warm_assembly :
+  Config.t -> Catalog.t -> target_coll:Catalog.collection -> stream_card:float -> Cost.t
+(** Lesson-7 warm start: one sequential scan of the referenced collection
+    primes the buffer pool, so dereferences cost only CPU. Only offered
+    when the collection fits the buffer (checked by the rule). *)
+
+val pointer_join :
+  Config.t -> Catalog.t -> target_cls:string -> stream_card:float -> atoms:int -> Cost.t
+(** Naive per-tuple dereference (window of one) plus residual predicate. *)
+
+val alg_project : Config.t -> card:float -> Cost.t
+
+val alg_unnest : Config.t -> in_card:float -> out_card:float -> Cost.t
+
+val hash_setop : Config.t -> left_card:float -> right_card:float -> out_card:float -> Cost.t
+
+val sort : Config.t -> card:float -> row_bytes:float -> Cost.t

@@ -1,0 +1,65 @@
+module Catalog = Oodb_catalog.Catalog
+module Config = Oodb_cost.Config
+module Lprops = Oodb_cost.Lprops
+module Bset = Physprop.Bset
+open Model
+
+(* Enforce in-memory presence of one binding with an assembly step; the
+   input plan must provide whatever the dereference reads. *)
+let assembly_enforcer cfg cat =
+  { Engine.e_name = "assembly-enforcer";
+    e_apply =
+      (fun ctx ~required g ->
+        let lp = Engine.group_lprop ctx g in
+        let window = cfg.Config.assembly_window in
+        Bset.elements required.Physprop.in_memory
+        |> List.filter_map (fun b ->
+               match Lprops.find lp b with
+               | None -> None
+               | Some info ->
+                 let weaker_base = Physprop.remove b required in
+                 let make weaker src_field =
+                   let path = { Physical.ap_src = fst src_field; ap_field = snd src_field; ap_out = b } in
+                   let cost =
+                     Costmodel.assembly cfg cat ~window ~stream_card:lp.Lprops.card
+                       ~targets:[ info.Lprops.b_class ]
+                   in
+                   Some (Physical.Assembly { paths = [ path ]; window; warm = None }, weaker, cost)
+                 in
+                 (match info.Lprops.b_source with
+                 | Lprops.From_mat (src, (Some _ as field)) ->
+                   (* reading src.field requires src in memory *)
+                   make (Physprop.add src weaker_base) (src, field)
+                 | Lprops.From_mat (src, None) ->
+                   (* src is a reference already carried by the tuple *)
+                   make weaker_base (src, None)
+                 | Lprops.From_unnest _ ->
+                   (* the unnest stored b's reference in the tuple *)
+                   make weaker_base (b, None)
+                 | Lprops.From_get _ -> None))) }
+
+(* Enforce a sort order (extensibility demo; no rule requires it). *)
+let sort_enforcer cfg =
+  { Engine.e_name = "sort-enforcer";
+    e_apply =
+      (fun ctx ~required g ->
+        match required.Physprop.order with
+        | None -> []
+        | Some o ->
+          let lp = Engine.group_lprop ctx g in
+          (* sorting by a field reads the object: the input must deliver
+             that binding in memory; identity sorts need only the OID *)
+          let weaker_mem =
+            match o.Physprop.ord_field with
+            | Some _ -> Bset.add o.Physprop.ord_binding required.Physprop.in_memory
+            | None -> required.Physprop.in_memory
+          in
+          let weaker = { Physprop.in_memory = weaker_mem; order = None } in
+          let cost =
+            Costmodel.sort cfg ~card:lp.Lprops.card ~row_bytes:(Lprops.row_bytes lp)
+          in
+          [ (Physical.Sort o, weaker, cost) ]) }
+
+let all cfg cat = [ assembly_enforcer cfg cat; sort_enforcer cfg ]
+
+let names = [ "assembly-enforcer"; "sort-enforcer" ]

@@ -1,0 +1,12 @@
+(** Property enforcers.
+
+    The assembly enforcer is the paper's central example: it achieves the
+    presence-in-memory of a binding by resolving that binding's
+    references on top of a plan optimized for weaker requirements —
+    exactly how the Query 3 optimal plan places Assembly above the
+    collapsed index scan (Figure 10). The sort enforcer demonstrates
+    extending the property vector beyond the paper's implementation. *)
+
+val names : string list
+
+val all : Oodb_cost.Config.t -> Oodb_catalog.Catalog.t -> Model.Engine.enforcer list

@@ -1,0 +1,15 @@
+(** Implementation rules: the correspondence between logical expressions
+    and execution algorithms, including the required/delivered physical
+    property plumbing and cost estimation for each candidate.
+
+    The multi-level [collapse-index-scan] rule implements the paper's
+    crucial Query 2 optimization: a Select over a Mat chain over a Get
+    collapses into a single index scan over a path index, never reading
+    the intermediate objects. Because the index scan delivers only the
+    scanned binding in memory, Query 3's projection of [mayor.age] cannot
+    use it directly — the assembly enforcer (see {!Enforcers}) bridges
+    the gap, reproducing the paper's Figure 10 plan. *)
+
+val names : string list
+
+val all : Oodb_cost.Config.t -> Oodb_catalog.Catalog.t -> Model.Engine.irule list

@@ -1,0 +1,39 @@
+module Logical = Oodb_algebra.Logical
+module Lprops = Oodb_cost.Lprops
+
+module M = struct
+  module Op = struct
+    type t = Logical.op
+
+    let arity = Logical.arity
+
+    let equal (a : t) (b : t) = Stdlib.compare a b = 0
+
+    let hash (t : t) = Hashtbl.hash t
+
+    let pp = Logical.pp_op
+  end
+
+  module Alg = struct
+    type t = Physical.t
+
+    let pp = Physical.pp
+  end
+
+  module Lprop = struct
+    type t = Lprops.t
+
+    let pp = Lprops.pp
+  end
+
+  module Pprop = Physprop
+
+  module Cost = Oodb_cost.Cost
+end
+
+module Engine = Volcano.Make (M)
+
+let rec expr_of_logical (t : Logical.t) =
+  Engine.Expr (t.Logical.op, List.map expr_of_logical t.Logical.inputs)
+
+let scope_of ctx g = List.map fst (Engine.group_lprop ctx g).Lprops.bindings

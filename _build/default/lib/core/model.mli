@@ -1,0 +1,17 @@
+(** Instantiation of the Volcano optimizer generator with the Open OODB
+    data model: logical object algebra, physical algebra, presence-in-
+    memory property, and the cost ADT. *)
+
+module M : Volcano.MODEL
+  with type Op.t = Oodb_algebra.Logical.op
+   and type Alg.t = Physical.t
+   and type Lprop.t = Oodb_cost.Lprops.t
+   and type Pprop.t = Physprop.t
+   and type Cost.t = Oodb_cost.Cost.t
+
+module Engine : module type of Volcano.Make (M)
+
+val expr_of_logical : Oodb_algebra.Logical.t -> Engine.expr
+
+val scope_of : Engine.ctx -> Engine.group -> string list
+(** Binding names in scope of a group, from its logical properties. *)

@@ -1,0 +1,59 @@
+module Logical = Oodb_algebra.Logical
+module Catalog = Oodb_catalog.Catalog
+module Estimator = Oodb_cost.Estimator
+module Cost = Oodb_cost.Cost
+open Model
+
+type outcome = {
+  plan : Engine.plan option;
+  stats : Engine.stats;
+  opt_seconds : float;
+  memo : Engine.ctx;
+  root : Engine.group;
+}
+
+let spec (options : Options.t) cat =
+  let cfg = options.Options.config in
+  { Engine.derive_lprop = Estimator.derive cfg cat;
+    transformations = Trules.all cfg cat;
+    implementations = Irules.all cfg cat;
+    enforcers = Enforcers.all cfg cat }
+
+let optimize ?(options = Options.default) ?(required = Physprop.empty)
+    ?(initial_limit = Cost.infinite) cat expr =
+  (match Logical.well_formed cat expr with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Optimizer.optimize: ill-formed query: %s" msg));
+  let expr = if options.Options.normalize then Argtrans.expr expr else expr in
+  let spec = spec options cat in
+  let t0 = Sys.time () in
+  let result =
+    Engine.run ~disabled:options.Options.disabled ~pruning:options.Options.pruning
+      ~initial_limit spec (expr_of_logical expr) ~required
+  in
+  let t1 = Sys.time () in
+  { plan = result.Engine.plan;
+    stats = result.Engine.stats;
+    opt_seconds = t1 -. t0;
+    memo = result.Engine.ctx;
+    root = result.Engine.root }
+
+let plan_exn outcome =
+  match outcome.plan with
+  | Some p -> p
+  | None -> invalid_arg "Optimizer: no plan found"
+
+let cost outcome = (plan_exn outcome).Engine.cost
+
+let pp_stats ppf (s : Engine.stats) =
+  Format.fprintf ppf
+    "groups=%d mexprs=%d rules fired/tried=%d/%d candidates=%d enforcers=%d memo hits=%d"
+    s.Engine.groups s.Engine.mexprs s.Engine.trule_fired s.Engine.trule_tried
+    s.Engine.candidates s.Engine.enforcer_uses s.Engine.phys_memo_hits
+
+let explain outcome =
+  match outcome.plan with
+  | None -> "no plan found"
+  | Some p ->
+    Format.asprintf "%a@.@.anticipated cost: %a@.optimization: %.4fs, %a@." Engine.pp_plan p
+      Cost.pp p.Engine.cost outcome.opt_seconds pp_stats outcome.stats

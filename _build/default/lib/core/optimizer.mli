@@ -1,0 +1,43 @@
+(** The Open OODB query optimizer: public entry point.
+
+    Takes a logical algebra expression (usually produced by the ZQL
+    simplifier), runs the Volcano search with the Open OODB rule set, and
+    returns the optimal physical plan with its anticipated execution
+    cost, the search statistics, and the wall-clock optimization time. *)
+
+type outcome = {
+  plan : Model.Engine.plan option;
+      (** [None] only if no combination of algorithms can deliver the
+          required properties (does not happen with the full rule set) *)
+  stats : Model.Engine.stats;
+  opt_seconds : float;  (** optimization time *)
+  memo : Model.Engine.ctx;  (** final memo, for inspection *)
+  root : Model.Engine.group;
+}
+
+val optimize :
+  ?options:Options.t ->
+  ?required:Physprop.t ->
+  ?initial_limit:Oodb_cost.Cost.t ->
+  Oodb_catalog.Catalog.t ->
+  Oodb_algebra.Logical.t ->
+  outcome
+(** Optimize a (well-formed) logical expression. [required] defaults to
+    no required properties — the usual goal for a query root.
+    [initial_limit] seeds branch-and-bound with a heuristic plan's cost
+    (Volcano's heuristic-guidance mechanism, which the paper lists as
+    unevaluated future work); if no plan at or below the limit exists
+    the outcome carries no plan.
+    @raise Invalid_argument if the expression is not well-formed. *)
+
+val cost : outcome -> Oodb_cost.Cost.t
+(** Anticipated execution cost of the chosen plan.
+    @raise Invalid_argument when no plan was found. *)
+
+val plan_exn : outcome -> Model.Engine.plan
+
+val explain : outcome -> string
+(** Plan rendering in the style of the paper's figures, followed by the
+    anticipated cost and search statistics. *)
+
+val pp_stats : Format.formatter -> Model.Engine.stats -> unit

@@ -1,0 +1,88 @@
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Value = Oodb_storage.Value
+
+type assembly_path = {
+  ap_src : string;
+  ap_field : string option;
+  ap_out : string;
+}
+
+type t =
+  | File_scan of { coll : string; binding : string }
+  | Index_scan of {
+      coll : string;
+      binding : string;
+      index : string;
+      key : Value.t;
+      residual : Pred.t;
+      derefs : (string * string option * string) list;
+    }
+  | Filter of Pred.t
+  | Hash_join of Pred.t
+  | Merge_join of {
+      key_l : Pred.operand;
+      key_r : Pred.operand;
+      residual : Pred.t;
+    }
+  | Pointer_join of {
+      src : string;
+      field : string option;
+      out : string;
+      residual : Pred.t;
+    }
+  | Assembly of { paths : assembly_path list; window : int; warm : string option }
+  | Alg_project of Logical.proj list
+  | Alg_unnest of { src : string; field : string; out : string }
+  | Hash_union
+  | Hash_intersect
+  | Hash_difference
+  | Sort of Physprop.order
+
+let pp_path ppf p =
+  match p.ap_field with
+  | Some field ->
+    if p.ap_out = p.ap_src ^ "." ^ field then Format.fprintf ppf "%s.%s" p.ap_src field
+    else Format.fprintf ppf "%s.%s: %s" p.ap_src field p.ap_out
+  | None -> Format.fprintf ppf "%s: %s" p.ap_src p.ap_out
+
+let pp_projs ppf ps =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (p : Logical.proj) -> Pred.pp_operand ppf p.Logical.p_expr)
+    ppf ps
+
+let pp ppf = function
+  | File_scan { coll; binding } -> Format.fprintf ppf "File Scan %s: %s" coll binding
+  | Index_scan { coll; binding; index; key; residual; derefs = _ } ->
+    Format.fprintf ppf "Index Scan %s: %s, %s == %a" coll binding index Value.pp key;
+    if residual <> [] then Format.fprintf ppf " [then %a]" Pred.pp residual
+  | Filter pred -> Format.fprintf ppf "Filter %a" Pred.pp pred
+  | Hash_join pred -> Format.fprintf ppf "Hybrid Hash Join %a" Pred.pp pred
+  | Merge_join { key_l; key_r; residual } ->
+    Format.fprintf ppf "Merge Join %a == %a" Pred.pp_operand key_l Pred.pp_operand key_r;
+    if residual <> [] then Format.fprintf ppf " [then %a]" Pred.pp residual
+  | Pointer_join { src; field; out; residual } ->
+    (match field with
+    | Some field -> Format.fprintf ppf "Pointer Join %s.%s: %s" src field out
+    | None -> Format.fprintf ppf "Pointer Join %s: %s" src out);
+    if residual <> [] then Format.fprintf ppf " [%a]" Pred.pp residual
+  | Assembly { paths; window; warm } ->
+    Format.fprintf ppf "Assembly %a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_path)
+      paths;
+    if window = 1 then Format.pp_print_string ppf " [window 1]";
+    (match warm with
+    | Some coll -> Format.fprintf ppf " [warm-start %s]" coll
+    | None -> ())
+  | Alg_project ps -> Format.fprintf ppf "Alg-Project %a" pp_projs ps
+  | Alg_unnest { src; field; out } -> Format.fprintf ppf "Alg-Unnest %s.%s: %s" src field out
+  | Hash_union -> Format.pp_print_string ppf "Hash Union"
+  | Hash_intersect -> Format.pp_print_string ppf "Hash Intersect"
+  | Hash_difference -> Format.pp_print_string ppf "Hash Difference"
+  | Sort { Physprop.ord_binding; ord_field = Some f } ->
+    Format.fprintf ppf "Sort %s.%s" ord_binding f
+  | Sort { Physprop.ord_binding; ord_field = None } ->
+    Format.fprintf ppf "Sort %s (by identity)" ord_binding
+
+let to_string t = Format.asprintf "%a" pp t

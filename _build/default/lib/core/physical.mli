@@ -1,0 +1,70 @@
+(** Physical algebra: the execution algorithms the optimizer chooses
+    among, with the arguments the execution engine needs.
+
+    Every constructor corresponds to an algorithm named in the paper:
+    file (extent) scan, index scan (including the collapsed
+    select-materialize-scan form over a path index), filter, hybrid hash
+    join, pointer-based join, complex-object assembly with a window of
+    open references, Alg-Project, Alg-Unnest, the hash-based set
+    operations, and a sort enforcer kept as an extensibility demo. *)
+
+type assembly_path = {
+  ap_src : string;  (** binding holding the reference *)
+  ap_field : string option;  (** [None]: [ap_src] is itself the reference *)
+  ap_out : string;  (** binding for the materialized object *)
+}
+
+type t =
+  | File_scan of { coll : string; binding : string }
+  | Index_scan of {
+      coll : string;
+      binding : string;
+      index : string;  (** catalog/physical index name *)
+      key : Oodb_storage.Value.t;  (** equality probe value *)
+      residual : Oodb_algebra.Pred.t;
+          (** extra conjuncts on [binding], checked after fetching *)
+      derefs : (string * string option * string) list;
+          (** the Mat links the collapse consumed, root-first: the scan
+              re-emits each output binding as a bare reference so the
+              logical scope stays complete *)
+    }
+  | Filter of Oodb_algebra.Pred.t
+  | Hash_join of Oodb_algebra.Pred.t
+      (** first child builds the hash table, second probes *)
+  | Merge_join of {
+      key_l : Oodb_algebra.Pred.operand;  (** merge key of the first input *)
+      key_r : Oodb_algebra.Pred.operand;
+      residual : Oodb_algebra.Pred.t;
+    }
+      (** both inputs must arrive ordered on their key (the sort-order
+          property; enforced by {!constructor:Sort} or delivered by an
+          order-preserving scan) — the merge-join extension the paper
+          planned once sort order joined presence-in-memory in the
+          property vector *)
+  | Pointer_join of {
+      src : string;
+      field : string option;
+      out : string;
+      residual : Oodb_algebra.Pred.t;
+          (** join conjuncts beyond the reference equality *)
+    }  (** naive pointer-based join: dereference per input tuple *)
+  | Assembly of {
+      paths : assembly_path list;
+      window : int;
+      warm : string option;
+          (** warm-start (paper Lesson 7): scan this scannable collection
+              into the buffer pool before assembly begins, so the
+              per-reference faults become buffer hits *)
+    }
+  | Alg_project of Oodb_algebra.Logical.proj list
+  | Alg_unnest of { src : string; field : string; out : string }
+  | Hash_union
+  | Hash_intersect
+  | Hash_difference
+  | Sort of Physprop.order
+
+val pp : Format.formatter -> t -> unit
+(** Paper style, e.g. ["Hybrid Hash Join d.self == e.dept"],
+    ["Index Scan Cities: c, c.mayor.name == "Joe""], ["Assembly d.plant"]. *)
+
+val to_string : t -> string

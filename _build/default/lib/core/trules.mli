@@ -1,0 +1,19 @@
+(** Logical transformation rules.
+
+    The rule set contains the known relational transformations (selection
+    pushing and merging, join commutativity and associativity, set-
+    operator commutativity) "plus some new ones pertaining to the
+    materialize operator" (paper §3): Mat-Mat commutativity, moving Mat
+    through joins, and the Mat-to-Join rule that turns a reference
+    traversal into a value-based join against a scannable collection of
+    the target class (assuming referential containment of references in
+    that collection, which the data generator guarantees).
+
+    Each rule has a stable name so experiments can disable it — the paper
+    "simulates" weaker optimizers by disabling [join-commute] (Table 2)
+    and friends. *)
+
+val names : string list
+(** All rule names, in registration order. *)
+
+val all : Oodb_cost.Config.t -> Oodb_catalog.Catalog.t -> Model.Engine.trule list

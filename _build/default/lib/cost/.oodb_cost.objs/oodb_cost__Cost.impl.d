@@ -1,0 +1,1 @@
+lib/cost/cost.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/cost/estimator.ml: Float Format List Lprops Oodb_algebra Oodb_catalog Selectivity

@@ -1,0 +1,1 @@
+lib/cost/lprops.ml: Format List Option String

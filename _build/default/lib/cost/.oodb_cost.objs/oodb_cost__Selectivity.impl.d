@@ -1,0 +1,1 @@
+lib/cost/selectivity.ml: Config Float List Lprops Oodb_algebra Oodb_catalog Oodb_storage Option

@@ -1,0 +1,1 @@
+lib/cost/selectivity.mli: Config Lprops Oodb_algebra Oodb_catalog

@@ -1,0 +1,39 @@
+type t = {
+  page_bytes : int;
+  seq_io : float;
+  rand_io : float;
+  asm_io_floor : float;
+  assembly_window : int;
+  cpu_tuple : float;
+  cpu_pred : float;
+  cpu_hash : float;
+  memory_bytes : int;
+  buffer_pages : int;
+  default_selectivity : float;
+  range_selectivity : float;
+}
+
+(* Calibrated against the paper's DECstation 5000/125 era: ~20 ms
+   sequential and ~30 ms random page access, ~0.5 ms of CPU per tuple per
+   operator on the 25 MHz processor. With these constants the anticipated
+   times for the paper's queries land within a small factor of Tables 2-3
+   (see EXPERIMENTS.md). *)
+let default =
+  { page_bytes = 4096;
+    seq_io = 0.020;
+    rand_io = 0.030;
+    asm_io_floor = 0.008;
+    assembly_window = 16;
+    cpu_tuple = 5.0e-4;
+    cpu_pred = 1.0e-4;
+    cpu_hash = 5.0e-4;
+    memory_bytes = 4 * 1024 * 1024;
+    buffer_pages = 1024;
+    default_selectivity = 0.10;
+    range_selectivity = 0.33 }
+
+let assembly_io t ~window =
+  let window = max 1 window in
+  t.asm_io_floor +. ((t.rand_io -. t.asm_io_floor) /. float_of_int window)
+
+let pages t ~bytes = Float.max 1.0 (Float.ceil (bytes /. float_of_int t.page_bytes))

@@ -1,0 +1,36 @@
+(** Tunable constants of the cost model and execution environment.
+
+    The defaults are calibrated against the paper's anticipated execution
+    times (its testbed was a 25 MHz DECstation 5000/125 with 32 MB of
+    memory); EXPERIMENTS.md records how close each reproduced number
+    lands. Everything is a plain record so experiments and property tests
+    can sweep values. *)
+
+type t = {
+  page_bytes : int;  (** disk page size *)
+  seq_io : float;  (** seconds per sequentially read page *)
+  rand_io : float;  (** seconds per randomly read page *)
+  asm_io_floor : float;
+      (** seconds per assembly fetch with an unbounded window: the
+          elevator pattern removes most seek time but not rotation and
+          transfer *)
+  assembly_window : int;  (** default window of open references *)
+  cpu_tuple : float;  (** seconds of CPU per tuple handled by an operator *)
+  cpu_pred : float;  (** seconds per predicate-atom evaluation *)
+  cpu_hash : float;  (** seconds per hash-table insert or probe *)
+  memory_bytes : int;  (** budget for hash tables before spilling *)
+  buffer_pages : int;  (** buffer-pool capacity used by the executor *)
+  default_selectivity : float;  (** the paper's 10% fallback *)
+  range_selectivity : float;  (** fallback for inequality predicates *)
+}
+
+val default : t
+
+val assembly_io : t -> window:int -> float
+(** Per-fetch I/O seconds for the assembly algorithm with the given
+    window: [rand_io] when the window is 1 (one object at a time, no seek
+    optimization — the degraded variant in the paper's Table 2) and
+    approaching [asm_io_floor] as the window grows. *)
+
+val pages : t -> bytes:float -> float
+(** Number of pages occupied by [bytes] of densely packed data. *)

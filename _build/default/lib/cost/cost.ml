@@ -1,0 +1,29 @@
+type t = { io : float; cpu : float }
+
+let zero = { io = 0.0; cpu = 0.0 }
+
+let io io = { io; cpu = 0.0 }
+
+let cpu cpu = { io = 0.0; cpu }
+
+let make ~io ~cpu = { io; cpu }
+
+let add a b = { io = a.io +. b.io; cpu = a.cpu +. b.cpu }
+
+let sub a b = { io = a.io -. b.io; cpu = a.cpu -. b.cpu }
+
+let sum = List.fold_left add zero
+
+let total t = t.io +. t.cpu
+
+let compare a b = Float.compare (total a) (total b)
+
+let ( <= ) a b = compare a b <= 0
+
+let infinite = { io = Float.infinity; cpu = 0.0 }
+
+let is_finite t = Float.is_finite (total t)
+
+let pp ppf t =
+  if not (is_finite t) then Format.pp_print_string ppf "inf"
+  else Format.fprintf ppf "%.2fs (io %.2f + cpu %.2f)" (total t) t.io t.cpu

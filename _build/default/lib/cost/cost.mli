@@ -1,0 +1,38 @@
+(** Cost abstract data type.
+
+    As in the paper, cost is "encapsulated in an abstract data type" and
+    plans are compared on anticipated total execution time; the I/O and
+    CPU components are kept separate only for explanation output. *)
+
+type t = { io : float; cpu : float }
+(** Both components in seconds. *)
+
+val zero : t
+
+val io : float -> t
+
+val cpu : float -> t
+
+val make : io:float -> cpu:float -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Componentwise difference; used for branch-and-bound limit budgets. *)
+
+val sum : t list -> t
+
+val total : t -> float
+
+val compare : t -> t -> int
+(** By total seconds. *)
+
+val ( <= ) : t -> t -> bool
+
+val infinite : t
+(** Upper bound used as the initial branch-and-bound limit. *)
+
+val is_finite : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [119.60s (io 118.52 + cpu 1.08)]. *)

@@ -1,0 +1,102 @@
+module Catalog = Oodb_catalog.Catalog
+module Schema = Oodb_catalog.Schema
+module Logical = Oodb_algebra.Logical
+module Pred = Oodb_algebra.Pred
+
+let class_bytes cat cls =
+  let sizes =
+    Catalog.collections cat
+    |> List.filter_map (fun co ->
+           if co.Catalog.co_class = cls then Some co.Catalog.co_obj_bytes else None)
+  in
+  match sizes with
+  | [] -> 128.0
+  | sizes -> float_of_int (List.fold_left max 0 sizes)
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let one_input = function [ i ] -> i | _ -> fail "Estimator.derive: expected one input"
+
+let two_inputs = function
+  | [ l; r ] -> (l, r)
+  | _ -> fail "Estimator.derive: expected two inputs"
+
+let target_class cat env src field =
+  match Lprops.class_of env src with
+  | None -> fail "Estimator.derive: binding %s not in scope" src
+  | Some cls -> (
+    match Schema.follow (Catalog.schema cat) ~cls field with
+    | Some target -> (cls, target)
+    | None -> fail "Estimator.derive: %s.%s is not a reference" cls field)
+
+let derive cfg cat (op : Logical.op) inputs : Lprops.t =
+  match op with
+  | Logical.Get { coll; binding } -> (
+    match Catalog.find_collection cat coll with
+    | None -> fail "Estimator.derive: unknown collection %s" coll
+    | Some co ->
+      { Lprops.card = float_of_int co.Catalog.co_card;
+        bindings =
+          [ ( binding,
+              { Lprops.b_class = co.Catalog.co_class;
+                b_bytes = float_of_int co.Catalog.co_obj_bytes;
+                b_source = Lprops.From_get coll } ) ] })
+  | Logical.Select pred ->
+    let input = one_input inputs in
+    let sel = Selectivity.pred cfg cat ~env:input pred in
+    { input with Lprops.card = input.Lprops.card *. sel }
+  | Logical.Project ps ->
+    let input = one_input inputs in
+    let used = List.concat_map (fun p -> Pred.bindings_of_operand p.Logical.p_expr) ps in
+    { input with
+      Lprops.bindings = List.filter (fun (b, _) -> List.mem b used) input.Lprops.bindings }
+  | Logical.Join pred ->
+    let l, r = two_inputs inputs in
+    let env = { Lprops.card = 0.0; bindings = l.Lprops.bindings @ r.Lprops.bindings } in
+    let sel = Selectivity.pred cfg cat ~env pred in
+    { Lprops.card = l.Lprops.card *. r.Lprops.card *. sel; bindings = env.Lprops.bindings }
+  | Logical.Cross ->
+    let l, r = two_inputs inputs in
+    { Lprops.card = l.Lprops.card *. r.Lprops.card;
+      bindings = l.Lprops.bindings @ r.Lprops.bindings }
+  | Logical.Mat { src; field; out } ->
+    let input = one_input inputs in
+    let target =
+      match field with
+      | Some field -> snd (target_class cat input src field)
+      | None -> (
+        (* materializing the reference binding itself: same class *)
+        match Lprops.class_of input src with
+        | Some cls -> cls
+        | None -> fail "Estimator.derive: binding %s not in scope" src)
+    in
+    { input with
+      Lprops.bindings =
+        input.Lprops.bindings
+        @ [ ( out,
+              { Lprops.b_class = target;
+                b_bytes = class_bytes cat target;
+                b_source = Lprops.From_mat (src, field) } ) ] }
+  | Logical.Unnest { src; field; out } ->
+    let input = one_input inputs in
+    let cls, target = target_class cat input src field in
+    let fanout = Catalog.avg_set_size cat ~cls ~field in
+    { Lprops.card = input.Lprops.card *. fanout;
+      bindings =
+        input.Lprops.bindings
+        @ [ ( out,
+              { Lprops.b_class = target;
+                b_bytes = class_bytes cat target;
+                b_source = Lprops.From_unnest (src, field) } ) ] }
+  | Logical.Union ->
+    let l, r = two_inputs inputs in
+    { l with Lprops.card = l.Lprops.card +. r.Lprops.card }
+  | Logical.Intersect ->
+    let l, r = two_inputs inputs in
+    { l with Lprops.card = Float.min l.Lprops.card r.Lprops.card }
+  | Logical.Difference ->
+    let l, _ = two_inputs inputs in
+    l
+
+let rec derive_expr cfg cat (t : Logical.t) =
+  derive cfg cat t.Logical.op (List.map (derive_expr cfg cat) t.Logical.inputs)

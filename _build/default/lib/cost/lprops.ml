@@ -1,0 +1,45 @@
+type source =
+  | From_get of string
+  | From_mat of string * string option
+  | From_unnest of string * string
+
+type binding_info = {
+  b_class : string;
+  b_bytes : float;
+  b_source : source;
+}
+
+type t = {
+  card : float;
+  bindings : (string * binding_info) list;
+}
+
+let find t b = List.assoc_opt b t.bindings
+
+let class_of t b = Option.map (fun i -> i.b_class) (find t b)
+
+let row_bytes t = List.fold_left (fun acc (_, i) -> acc +. i.b_bytes) 0.0 t.bindings
+
+let bytes_of t bs =
+  List.fold_left
+    (fun acc b -> match find t b with Some i -> acc +. i.b_bytes | None -> acc)
+    0.0 bs
+
+let provenance t b =
+  (* [path] accumulates root-to-leaf order: walking upward prepends the
+     step closer to the root in front of those already collected. *)
+  let rec go b path depth =
+    if depth > 64 then None (* defensive: malformed self-referential scopes *)
+    else
+      match find t b with
+      | None -> None
+      | Some { b_source = From_get coll; _ } -> Some (coll, path)
+      | Some { b_source = From_mat (src, Some field); _ } -> go src (field :: path) (depth + 1)
+      | Some { b_source = From_mat (src, None); _ } -> go src path (depth + 1)
+      | Some { b_source = From_unnest _; _ } -> None
+  in
+  go b [] 0
+
+let pp ppf t =
+  Format.fprintf ppf "card=%.1f scope={%s}" t.card
+    (String.concat ", " (List.map (fun (b, i) -> b ^ ":" ^ i.b_class) t.bindings))

@@ -1,0 +1,47 @@
+(** Logical properties of an algebra expression: estimated cardinality
+    and the in-scope bindings with their classes, sizes and provenance.
+
+    Logical properties are "properties of an expression determined by the
+    logical operators before execution algorithms are chosen" (paper §3);
+    they are attached to every memo group and consumed by selectivity
+    estimation, by transformation-rule guards (e.g. Mat-to-Join needs the
+    target class to have a scannable collection) and by the cost model. *)
+
+type source =
+  | From_get of string  (** scanned from this collection *)
+  | From_mat of string * string option
+      (** dereferenced from [(src binding, field)]; [None] when the source
+          binding is itself the reference being materialized *)
+  | From_unnest of string * string  (** unnested from [(src binding, field)] *)
+
+type binding_info = {
+  b_class : string;
+  b_bytes : float;  (** average object size in bytes *)
+  b_source : source;
+}
+
+type t = {
+  card : float;  (** estimated output cardinality *)
+  bindings : (string * binding_info) list;  (** scope, in introduction order *)
+}
+
+val find : t -> string -> binding_info option
+
+val class_of : t -> string -> string option
+
+val row_bytes : t -> float
+(** Total bytes of one output tuple's in-scope objects — the footprint a
+    hash table holding the output must budget for. *)
+
+val bytes_of : t -> string list -> float
+(** Footprint of a subset of the bindings. *)
+
+val provenance : t -> string -> (string * string list) option
+(** [provenance t b] chases [From_mat] links back to a [From_get]:
+    [Some (collection, path)] means binding [b] holds the object reached
+    from a member of [collection] via [path] — the shape matched against
+    path-index definitions. [path = []] for the scanned binding itself.
+    [None] when the chain crosses an [Unnest] or a projected-away
+    binding. *)
+
+val pp : Format.formatter -> t -> unit

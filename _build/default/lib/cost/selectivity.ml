@@ -1,0 +1,80 @@
+module Catalog = Oodb_catalog.Catalog
+module Pred = Oodb_algebra.Pred
+
+let clamp s = Float.max 1e-9 (Float.min 1.0 s)
+
+(* Distinct-value estimate for [binding.field], preferring index
+   statistics on the provenance path over class statistics. *)
+let distinct_of _cfg cat ~env binding field =
+  match Lprops.provenance env binding with
+  | Some (coll, path) -> (
+    match Catalog.find_index cat ~coll ~path:(path @ [ field ]) with
+    | Some ix -> Some (float_of_int ix.Catalog.ix_distinct)
+    | None -> (
+      match Lprops.class_of env binding with
+      | None -> None
+      | Some cls -> Option.map float_of_int (Catalog.distinct cat ~cls ~field)))
+  | None -> (
+    match Lprops.class_of env binding with
+    | None -> None
+    | Some cls -> Option.map float_of_int (Catalog.distinct cat ~cls ~field))
+
+let atom (cfg : Config.t) cat ~env (a : Pred.atom) =
+  let eq_field_sel binding field =
+    match distinct_of cfg cat ~env binding field with
+    | Some d when d > 0.0 -> 1.0 /. d
+    | Some _ | None -> cfg.default_selectivity
+  in
+  let identity_sel target =
+    (* one reference matches exactly one object of the target class *)
+    match Lprops.class_of env target with
+    | Some cls -> (
+      match Catalog.class_cardinality cat cls with
+      | Some n when n > 0 -> 1.0 /. float_of_int n
+      | Some _ | None -> cfg.default_selectivity)
+    | None -> cfg.default_selectivity
+  in
+  let const_eval =
+    match a.Pred.lhs, a.Pred.rhs with
+    | Pred.Const l, Pred.Const r ->
+      let c = Oodb_storage.Value.compare l r in
+      let holds =
+        match a.Pred.cmp with
+        | Pred.Eq -> c = 0
+        | Pred.Ne -> c <> 0
+        | Pred.Lt -> c < 0
+        | Pred.Le -> c <= 0
+        | Pred.Gt -> c > 0
+        | Pred.Ge -> c >= 0
+      in
+      Some (if holds then 1.0 else 0.0)
+    | _ -> None
+  in
+  match const_eval with
+  | Some s -> clamp s
+  | None ->
+  let sel =
+    match a.Pred.cmp with
+    | Pred.Eq -> (
+      match Pred.ref_eq_sides a with
+      | Some (_src, _field, target) -> identity_sel target
+      | None -> (
+        match a.Pred.lhs, a.Pred.rhs with
+        | Pred.Field (b, f), Pred.Const _ | Pred.Const _, Pred.Field (b, f) -> eq_field_sel b f
+        | Pred.Field (b1, f1), Pred.Field (b2, f2) ->
+          (* equijoin-style: 1 / max of the distinct counts, per System R *)
+          let d1 = distinct_of cfg cat ~env b1 f1 and d2 = distinct_of cfg cat ~env b2 f2 in
+          (match d1, d2 with
+          | Some d1, Some d2 -> 1.0 /. Float.max d1 d2
+          | Some d, None | None, Some d -> 1.0 /. d
+          | None, None -> cfg.default_selectivity)
+        | Pred.Self b1, Pred.Self b2 ->
+          if b1 = b2 then 1.0 else identity_sel b2
+        | _ -> cfg.default_selectivity))
+    | Pred.Ne -> 1.0 -. cfg.default_selectivity
+    | Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge -> cfg.range_selectivity
+  in
+  clamp sel
+
+let pred cfg cat ~env atoms =
+  clamp (List.fold_left (fun acc a -> acc *. atom cfg cat ~env a) 1.0 atoms)

@@ -1,0 +1,23 @@
+(** Selectivity estimation.
+
+    The paper's rule: "If no index can be used to assist in selectivity
+    estimation, selectivity of selection predicates is assumed to be 10%."
+    We implement three tiers for an equality atom on [binding.field]:
+
+    + a path/field index on the provenance path of the operand supplies
+      [1 / distinct keys];
+    + a catalog distinct-value statistic on the class attribute supplies
+      [1 / distinct values];
+    + otherwise the configured default (10%).
+
+    Reference-equality atoms (the output of Mat-to-Join) use
+    [1 / cardinality of the referenced class] when the class has a
+    scannable collection, reflecting that each source object references
+    exactly one target. *)
+
+val atom :
+  Config.t -> Oodb_catalog.Catalog.t -> env:Lprops.t -> Oodb_algebra.Pred.atom -> float
+
+val pred :
+  Config.t -> Oodb_catalog.Catalog.t -> env:Lprops.t -> Oodb_algebra.Pred.t -> float
+(** Product over atoms (independence assumption). *)

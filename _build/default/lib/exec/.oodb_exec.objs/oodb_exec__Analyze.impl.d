@@ -1,0 +1,1 @@
+lib/exec/analyze.ml: Db Format Hashtbl List Oodb_catalog Oodb_storage

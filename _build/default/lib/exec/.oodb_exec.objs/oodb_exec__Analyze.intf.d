@@ -1,0 +1,1 @@
+lib/exec/analyze.mli: Db Format

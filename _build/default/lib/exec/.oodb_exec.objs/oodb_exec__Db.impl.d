@@ -1,0 +1,1 @@
+lib/exec/db.ml: Hashtbl Oodb_catalog Oodb_storage Printf

@@ -1,0 +1,1 @@
+lib/exec/db.mli: Oodb_catalog Oodb_storage

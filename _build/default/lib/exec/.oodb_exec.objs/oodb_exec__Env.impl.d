@@ -1,0 +1,1 @@
+lib/exec/env.ml: List Oodb_storage

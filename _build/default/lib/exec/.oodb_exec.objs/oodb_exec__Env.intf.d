@@ -1,0 +1,1 @@
+lib/exec/env.mli: Oodb_storage

@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Env List Oodb_algebra Oodb_storage

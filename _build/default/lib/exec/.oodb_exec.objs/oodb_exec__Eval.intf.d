@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Env Oodb_algebra Oodb_storage

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Db Env Eval Format Iterator List Oodb_algebra Oodb_cost Oodb_storage Open_oodb Operators

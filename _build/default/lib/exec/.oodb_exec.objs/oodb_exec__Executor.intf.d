@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Db Format Iterator Oodb_cost Oodb_storage Open_oodb

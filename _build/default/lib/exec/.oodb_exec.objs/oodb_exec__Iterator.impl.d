@@ -1,0 +1,1 @@
+lib/exec/iterator.ml: Env List

@@ -1,0 +1,1 @@
+lib/exec/operators.ml: Array Db Env Eval Float Hashtbl Iterator List Oodb_algebra Oodb_cost Oodb_storage Open_oodb Option Printf

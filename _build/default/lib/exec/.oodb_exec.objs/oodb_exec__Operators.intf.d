@@ -1,0 +1,1 @@
+lib/exec/operators.mli: Db Iterator Oodb_algebra Oodb_cost Oodb_storage Open_oodb

@@ -1,0 +1,31 @@
+(** Statistics collection — the "improved statistics and cost models"
+    extensibility axis of the paper's design goals.
+
+    [refresh db] walks the stored data and replaces the catalog's
+    estimates with measured values: collection cardinalities cannot be
+    updated in place (they are immutable collection metadata), but the
+    distinct-value statistics for every scalar attribute and the average
+    cardinality of every set-valued attribute are recomputed, and each
+    registered index's distinct-key statistic is re-read from the
+    physical index. Subsequent optimizations use the refreshed numbers.
+
+    Collection of statistics is free of simulated I/O (it peeks at the
+    store), matching how offline ANALYZE passes are usually treated in
+    optimizer studies. *)
+
+type report = {
+  attributes_updated : int;  (** distinct-value statistics written *)
+  set_attributes_updated : int;  (** average set sizes written *)
+  indexes_updated : int;  (** index distinct-key statistics rewritten *)
+}
+
+val refresh : Db.t -> report
+
+val distinct_values : Db.t -> coll:string -> field:string -> int
+(** Exact distinct count of one attribute over one collection. *)
+
+val average_set_size : Db.t -> coll:string -> field:string -> float
+(** Mean cardinality of a set-valued attribute ([0.] for an empty
+    collection). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,40 @@
+module Value = Oodb_storage.Value
+module Store = Oodb_storage.Store
+
+exception Not_materialized of string
+
+exception Unbound of string
+
+type slot = { s_oid : Value.oid; s_obj : Store.obj option }
+
+type t = (string * slot) list (* in binding order *)
+
+let empty = []
+
+let bind_obj t b (o : Store.obj) = t @ [ (b, { s_oid = o.Store.oid; s_obj = Some o }) ]
+
+let bind_ref t b oid = t @ [ (b, { s_oid = oid; s_obj = None }) ]
+
+let rebind_obj t b (o : Store.obj) =
+  let slot = { s_oid = o.Store.oid; s_obj = Some o } in
+  if List.mem_assoc b t then List.map (fun (b', s) -> if b' = b then (b', slot) else (b', s)) t
+  else t @ [ (b, slot) ]
+
+let lookup t b = List.assoc_opt b t
+
+let oid t b =
+  match lookup t b with Some s -> s.s_oid | None -> raise (Unbound b)
+
+let obj t b =
+  match lookup t b with
+  | None -> raise (Unbound b)
+  | Some { s_obj = Some o; _ } -> o
+  | Some { s_obj = None; _ } -> raise (Not_materialized b)
+
+let bindings t = List.map fst t
+
+let merge a b = a @ b
+
+let narrow t bs = List.filter (fun (b, _) -> List.mem b bs) t
+
+let key_of t bs = List.map (fun b -> Value.Ref (oid t b)) bs

@@ -1,0 +1,50 @@
+(** Tuples flowing between execution operators.
+
+    A tuple maps bindings to slots; a slot always carries the object's
+    OID and optionally the materialized object. The distinction is the
+    runtime counterpart of the optimizer's presence-in-memory property:
+    reading a field of a non-materialized slot is a plan bug, and the
+    executor raises {!Not_materialized} to surface it (the property
+    machinery makes this unreachable for plans the optimizer emits). *)
+
+module Value = Oodb_storage.Value
+module Store = Oodb_storage.Store
+
+exception Not_materialized of string
+
+exception Unbound of string
+
+type slot = { s_oid : Value.oid; s_obj : Store.obj option }
+
+type t
+
+val empty : t
+
+val bind_obj : t -> string -> Store.obj -> t
+
+val bind_ref : t -> string -> Value.oid -> t
+
+val rebind_obj : t -> string -> Store.obj -> t
+(** Replace (or add) a binding — used by assembly to materialize a slot
+    in place. *)
+
+val lookup : t -> string -> slot option
+
+val oid : t -> string -> Value.oid
+(** @raise Unbound *)
+
+val obj : t -> string -> Store.obj
+(** @raise Unbound / Not_materialized *)
+
+val bindings : t -> string list
+(** In binding order. *)
+
+val merge : t -> t -> t
+(** Disjoint union (right bindings appended). *)
+
+val narrow : t -> string list -> t
+(** Keep only the listed bindings. *)
+
+val key_of : t -> string list -> Value.t list
+(** OIDs of the listed bindings — the identity key used by set
+    operations. @raise Unbound *)

@@ -1,0 +1,22 @@
+module Value = Oodb_storage.Value
+module Store = Oodb_storage.Store
+module Pred = Oodb_algebra.Pred
+
+let operand env = function
+  | Pred.Const v -> v
+  | Pred.Self b -> Value.Ref (Env.oid env b)
+  | Pred.Field (b, f) -> (
+    let o = Env.obj env b in
+    match Store.field o f with v -> v | exception Not_found -> Value.Null)
+
+let atom env (a : Pred.atom) =
+  let l = operand env a.Pred.lhs and r = operand env a.Pred.rhs in
+  match a.Pred.cmp with
+  | Pred.Eq -> Value.equal l r
+  | Pred.Ne -> not (Value.equal l r)
+  | Pred.Lt -> l <> Value.Null && r <> Value.Null && Value.compare l r < 0
+  | Pred.Le -> l <> Value.Null && r <> Value.Null && Value.compare l r <= 0
+  | Pred.Gt -> l <> Value.Null && r <> Value.Null && Value.compare l r > 0
+  | Pred.Ge -> l <> Value.Null && r <> Value.Null && Value.compare l r >= 0
+
+let pred env atoms = List.for_all (atom env) atoms

@@ -1,0 +1,16 @@
+(** Predicate and scalar evaluation over tuples. *)
+
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+
+val operand : Env.t -> Pred.operand -> Value.t
+(** [Field] reads a materialized object's attribute ([Null] if missing);
+    [Self] yields the binding's OID as a [Ref].
+    @raise Env.Not_materialized / Env.Unbound on plan bugs. *)
+
+val atom : Env.t -> Pred.atom -> bool
+(** Three-valued-logic shortcut: comparisons involving [Null] are false
+    (except [Null == Null] and [Null != x]). *)
+
+val pred : Env.t -> Pred.t -> bool
+(** Conjunction. *)

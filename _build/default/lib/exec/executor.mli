@@ -1,0 +1,32 @@
+(** Translation of optimizer plans into iterator trees and plan
+    execution. *)
+
+module Value = Oodb_storage.Value
+module Engine = Open_oodb.Model.Engine
+module Config = Oodb_cost.Config
+
+type row = (string * Value.t) list
+(** One result tuple: projected name/value pairs, or binding/[Ref] pairs
+    for plans without a root projection. *)
+
+val iterator : ?config:Config.t -> Db.t -> Engine.plan -> Iterator.t
+(** Build the iterator tree for a physical plan. *)
+
+val run : ?config:Config.t -> Db.t -> Engine.plan -> row list
+(** Execute to completion and extract result rows. *)
+
+type io_report = {
+  seq_reads : int;
+  rand_reads : int;
+  buffer_hits : int;
+  rows : int;
+  simulated_seconds : float;
+      (** disk time under the cost model's per-page constants — the
+          executed counterpart of the optimizer's anticipated I/O cost *)
+}
+
+val run_measured : ?config:Config.t -> Db.t -> Engine.plan -> row list * io_report
+(** Like {!run}, but resets the disk/buffer statistics first and reports
+    the traffic the plan caused. *)
+
+val pp_report : Format.formatter -> io_report -> unit

@@ -1,0 +1,51 @@
+type t = {
+  open_ : unit -> unit;
+  next : unit -> Env.t option;
+  close : unit -> unit;
+}
+
+let make ~open_ ~next ~close = { open_; next; close }
+
+let open_ t = t.open_ ()
+
+let next t = t.next ()
+
+let close t = t.close ()
+
+let of_gen factory =
+  let gen = ref (fun () -> None) in
+  { open_ = (fun () -> gen := factory ());
+    next = (fun () -> !gen ());
+    close = (fun () -> gen := fun () -> None) }
+
+let of_list_thunk thunk =
+  of_gen (fun () ->
+      let remaining = ref (thunk ()) in
+      fun () ->
+        match !remaining with
+        | [] -> None
+        | env :: rest ->
+          remaining := rest;
+          Some env)
+
+let to_list t =
+  open_ t;
+  let rec drain acc =
+    match next t with
+    | Some env -> drain (env :: acc)
+    | None ->
+      close t;
+      List.rev acc
+  in
+  drain []
+
+let iter f t =
+  open_ t;
+  let rec go () =
+    match next t with
+    | Some env ->
+      f env;
+      go ()
+    | None -> close t
+  in
+  go ()

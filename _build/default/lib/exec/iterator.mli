@@ -1,0 +1,29 @@
+(** Volcano-style demand-driven iterators (open / next / close).
+
+    This is the execution model of the Volcano query execution module the
+    paper plans to transfer to the Open OODB system: every algorithm is
+    an iterator over {!Env.t} tuples, composed into a tree mirroring the
+    physical plan. *)
+
+type t
+
+val make :
+  open_:(unit -> unit) -> next:(unit -> Env.t option) -> close:(unit -> unit) -> t
+
+val of_gen : (unit -> (unit -> Env.t option)) -> t
+(** Build from a generator factory: [open_] calls the factory, [next]
+    pulls from the generator, [close] drops it. *)
+
+val open_ : t -> unit
+
+val next : t -> Env.t option
+
+val close : t -> unit
+
+val to_list : t -> Env.t list
+(** Open, drain, close. *)
+
+val iter : (Env.t -> unit) -> t -> unit
+
+val of_list_thunk : (unit -> Env.t list) -> t
+(** Materializing source: the thunk runs at open time. *)

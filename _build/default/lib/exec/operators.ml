@@ -1,0 +1,455 @@
+module Value = Oodb_storage.Value
+module Store = Oodb_storage.Store
+module Disk = Oodb_storage.Disk
+module Btree_index = Oodb_storage.Btree_index
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Physical = Open_oodb.Physical
+module Config = Oodb_cost.Config
+
+(* Demote slots of bindings outside [keep] to bare references. This is
+   the runtime counterpart of the optimizer's delivered-properties
+   vector: objects a plan node does not promise in memory are not
+   carried (a real engine would not copy them into its output tuples),
+   and any later attempt to read their fields raises
+   [Env.Not_materialized], surfacing property-machinery bugs. *)
+let trim keep child =
+  let demote env =
+    List.fold_left
+      (fun acc b ->
+        match Env.lookup env b with
+        | Some { Env.s_obj = Some _; s_oid } when not (List.mem b keep) ->
+          Env.bind_ref acc b s_oid
+        | Some { Env.s_obj = Some o; _ } -> Env.bind_obj acc b o
+        | Some { Env.s_obj = None; s_oid } -> Env.bind_ref acc b s_oid
+        | None -> acc)
+      Env.empty (Env.bindings env)
+  in
+  Iterator.make
+    ~open_:(fun () -> Iterator.open_ child)
+    ~next:(fun () -> Option.map demote (Iterator.next child))
+    ~close:(fun () -> Iterator.close child)
+
+let file_scan db ~coll ~binding =
+  let store = Db.store db in
+  Iterator.of_gen (fun () ->
+      let remaining = ref (Store.oids store ~coll) in
+      fun () ->
+        match !remaining with
+        | [] -> None
+        | oid :: rest ->
+          remaining := rest;
+          Some (Env.bind_obj Env.empty binding (Store.fetch store oid)))
+
+let index_scan db ~coll ~binding ~index ~key ~residual ~derefs =
+  ignore coll;
+  let store = Db.store db in
+  let ix =
+    match Db.find_index db index with
+    | Some ix -> ix
+    | None -> invalid_arg (Printf.sprintf "Operators.index_scan: no physical index %s" index)
+  in
+  (* Re-emit the reference bindings of a collapsed Mat chain. The first
+     link reads a field of the fetched root for free; deeper links must
+     fetch the intermediate object (rare: multi-link paths below an
+     unprojected root). *)
+  let apply_deref env (src, field, out) =
+    match field with
+    | None -> Env.bind_ref env out (Env.oid env src)
+    | Some f -> (
+      let src_obj =
+        match Env.lookup env src with
+        | Some { Env.s_obj = Some o; _ } -> Some o
+        | Some { Env.s_obj = None; s_oid } -> Some (Store.fetch store s_oid)
+        | None -> None
+      in
+      match src_obj with
+      | None -> env
+      | Some o -> (
+        match Value.as_ref (Store.field o f) with
+        | Some oid -> Env.bind_ref env out oid
+        | None -> env))
+  in
+  Iterator.of_gen (fun () ->
+      let remaining = ref (Btree_index.lookup ix key) in
+      let rec pull () =
+        match !remaining with
+        | [] -> None
+        | oid :: rest ->
+          remaining := rest;
+          let env = Env.bind_obj Env.empty binding (Store.fetch store oid) in
+          if Eval.pred env residual then Some (List.fold_left apply_deref env derefs)
+          else pull ()
+      in
+      pull)
+
+let filter pred child =
+  Iterator.make
+    ~open_:(fun () -> Iterator.open_ child)
+    ~next:(fun () ->
+      let rec pull () =
+        match Iterator.next child with
+        | None -> None
+        | Some env -> if Eval.pred env pred then Some env else pull ()
+      in
+      pull ())
+    ~close:(fun () -> Iterator.close child)
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid hash join                                                     *)
+
+let operand_side build_scope op =
+  let bs = Pred.bindings_of_operand op in
+  if bs = [] then `Const
+  else if List.for_all (fun b -> List.mem b build_scope) bs then `Build
+  else if List.for_all (fun b -> not (List.mem b build_scope)) bs then `Probe
+  else `Mixed
+
+(* Split the conjunction into hash-key pairs (build operand, probe
+   operand) and residual atoms. *)
+let classify_atoms build_scope atoms =
+  List.fold_left
+    (fun (keys, residual) (a : Pred.atom) ->
+      if a.Pred.cmp = Pred.Eq then
+        match operand_side build_scope a.Pred.lhs, operand_side build_scope a.Pred.rhs with
+        | `Build, `Probe -> ((a.Pred.lhs, a.Pred.rhs) :: keys, residual)
+        | `Probe, `Build -> ((a.Pred.rhs, a.Pred.lhs) :: keys, residual)
+        | _ -> (keys, a :: residual)
+      else (keys, a :: residual))
+    ([], []) atoms
+
+let env_bytes store env =
+  List.fold_left
+    (fun acc b ->
+      match Env.lookup env b with
+      | Some { Env.s_obj = Some o; _ } -> acc +. float_of_int (Store.obj_bytes store ~coll:o.Store.coll)
+      | Some _ | None -> acc)
+    16.0 (Env.bindings env)
+
+(* Simulated partitioning pass: write [bytes] to a temp segment and read
+   them back, so spills are visible in the disk statistics. *)
+let charge_spill store bytes =
+  let disk = Store.disk store in
+  let pages = int_of_float (Float.ceil (bytes /. float_of_int (Disk.page_size disk))) in
+  if pages > 0 then begin
+    let seg = Disk.alloc_segment disk ~name:"hashjoin-spill" in
+    Disk.extend disk seg pages;
+    for p = 0 to pages - 1 do
+      Disk.write disk seg p
+    done;
+    for p = 0 to pages - 1 do
+      Disk.read disk seg p
+    done
+  end
+
+let hash_join db (cfg : Config.t) atoms ~build ~probe =
+  let store = Db.store db in
+  Iterator.of_gen (fun () ->
+      let build_envs = Iterator.to_list build in
+      let build_scope =
+        match build_envs with [] -> [] | env :: _ -> Env.bindings env
+      in
+      let keys, residual = classify_atoms build_scope atoms in
+      let build_key env = List.map (fun (b, _) -> Eval.operand env b) keys in
+      let probe_key env = List.map (fun (_, p) -> Eval.operand env p) keys in
+      let table = Hashtbl.create (max 16 (List.length build_envs)) in
+      let build_bytes = ref 0.0 in
+      List.iter
+        (fun env ->
+          build_bytes := !build_bytes +. env_bytes store env;
+          let k = List.map Value.hash (build_key env) in
+          Hashtbl.add table k env)
+        build_envs;
+      let spilled = !build_bytes > float_of_int cfg.Config.memory_bytes in
+      if spilled then charge_spill store !build_bytes;
+      let probe_envs =
+        if spilled then begin
+          (* both sides take the extra partitioning pass *)
+          let envs = Iterator.to_list probe in
+          let bytes = List.fold_left (fun acc e -> acc +. env_bytes store e) 0.0 envs in
+          charge_spill store bytes;
+          ref (Some envs)
+        end
+        else ref None
+      in
+      let probe_next () =
+        match !probe_envs with
+        | Some [] -> None
+        | Some (e :: rest) ->
+          probe_envs := Some rest;
+          Some e
+        | None -> Iterator.next probe
+      in
+      let opened = ref (!probe_envs <> None) in
+      let pending = ref [] in
+      let rec pull () =
+        match !pending with
+        | out :: rest ->
+          pending := rest;
+          Some out
+        | [] -> (
+          if not !opened then begin
+            Iterator.open_ probe;
+            opened := true
+          end;
+          match probe_next () with
+          | None -> None
+          | Some penv ->
+            let k = List.map Value.hash (probe_key penv) in
+            let matches =
+              Hashtbl.find_all table k
+              |> List.filter_map (fun benv ->
+                     (* re-check key values (hash collisions) and residual *)
+                     let merged = Env.merge benv penv in
+                     let key_ok =
+                       List.for_all2 Value.equal (build_key benv) (probe_key penv)
+                     in
+                     if key_ok && Eval.pred merged residual then Some merged else None)
+            in
+            pending := matches;
+            pull ())
+      in
+      pull)
+
+(* ------------------------------------------------------------------ *)
+(* Merge join over sorted inputs                                        *)
+
+let merge_join ~key_l ~key_r ~residual ~left ~right =
+  Iterator.of_list_thunk (fun () ->
+      let ls = Array.of_list (Iterator.to_list left) in
+      let rs = Array.of_list (Iterator.to_list right) in
+      let kl env = Eval.operand env key_l and kr env = Eval.operand env key_r in
+      let out = ref [] in
+      let i = ref 0 and j = ref 0 in
+      let nl = Array.length ls and nr = Array.length rs in
+      while !i < nl && !j < nr do
+        let c = Value.compare (kl ls.(!i)) (kr rs.(!j)) in
+        if c < 0 then incr i
+        else if c > 0 then incr j
+        else begin
+          (* emit the cross product of the two equal-key blocks *)
+          let key = kl ls.(!i) in
+          let i0 = !i and j0 = !j in
+          while !i < nl && Value.equal (kl ls.(!i)) key do
+            incr i
+          done;
+          while !j < nr && Value.equal (kr rs.(!j)) key do
+            incr j
+          done;
+          for a = i0 to !i - 1 do
+            for b = j0 to !j - 1 do
+              let merged = Env.merge ls.(a) rs.(b) in
+              if Eval.pred merged residual then out := merged :: !out
+            done
+          done
+        end
+      done;
+      List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+
+let pointer_join db ~src ~field ~out ~residual child =
+  let store = Db.store db in
+  Iterator.make
+    ~open_:(fun () -> Iterator.open_ child)
+    ~next:(fun () ->
+      let rec pull () =
+        match Iterator.next child with
+        | None -> None
+        | Some env ->
+          let target =
+            match field with
+            | None -> Some (Env.oid env src)
+            | Some f -> Value.as_ref (Store.field (Env.obj env src) f)
+          in
+          (match target with
+          | None -> pull ()
+          | Some oid ->
+            let env = Env.bind_obj env out (Store.fetch store oid) in
+            if Eval.pred env residual then Some env else pull ())
+      in
+      pull ())
+    ~close:(fun () -> Iterator.close child)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly: windowed, elevator-ordered dereferencing                   *)
+
+let resolve_path store (path : Physical.assembly_path) batch =
+  (* batch : Env.t array; returns the batch with [ap_out] materialized,
+     dropping tuples with Null references. *)
+  let refs =
+    Array.map
+      (fun env ->
+        match env with
+        | None -> None
+        | Some env -> (
+          match path.Physical.ap_field with
+          | None -> Some (env, Env.oid env path.Physical.ap_src)
+          | Some f -> (
+            match Value.as_ref (Store.field (Env.obj env path.Physical.ap_src) f) with
+            | Some oid -> Some (env, oid)
+            | None -> None)))
+      batch
+  in
+  (* Elevator: fetch in physical address order. *)
+  let order =
+    refs |> Array.to_list
+    |> List.mapi (fun i r -> (i, r))
+    |> List.filter_map (fun (i, r) -> Option.map (fun (_, oid) -> (i, oid)) r)
+    |> List.sort (fun (_, a) (_, b) ->
+           compare (Store.location store a) (Store.location store b))
+  in
+  let fetched = Hashtbl.create 16 in
+  List.iter
+    (fun (i, oid) -> Hashtbl.replace fetched i (Store.fetch store oid))
+    order;
+  Array.mapi
+    (fun i r ->
+      match r with
+      | None -> None
+      | Some (env, _) -> (
+        match Hashtbl.find_opt fetched i with
+        | Some o -> Some (Env.rebind_obj env path.Physical.ap_out o)
+        | None -> None))
+    refs
+
+let assembly db ~paths ~window ?(warm = None) child =
+  let store = Db.store db in
+  let window = max 1 window in
+  Iterator.of_gen (fun () ->
+      (* warm start (paper Lesson 7): stream the referenced collection
+         into the buffer pool before assembling, so the per-reference
+         faults below become hits *)
+      (match warm with
+      | Some coll -> Store.scan store ~coll (fun _ -> ())
+      | None -> ());
+      Iterator.open_ child;
+      let exhausted = ref false in
+      let pending = ref [] in
+      let refill () =
+        let batch = ref [] in
+        let n = ref 0 in
+        while (not !exhausted) && !n < window do
+          match Iterator.next child with
+          | None ->
+            exhausted := true;
+            Iterator.close child
+          | Some env ->
+            batch := env :: !batch;
+            incr n
+        done;
+        let arr = Array.of_list (List.rev_map Option.some !batch) in
+        let arr = List.fold_left (fun arr path -> resolve_path store path arr) arr paths in
+        pending := Array.to_list arr |> List.filter_map (fun x -> x)
+      in
+      let rec pull () =
+        match !pending with
+        | env :: rest ->
+          pending := rest;
+          Some env
+        | [] ->
+          if !exhausted then None
+          else begin
+            refill ();
+            if !pending = [] && !exhausted then None else pull ()
+          end
+      in
+      pull)
+
+(* ------------------------------------------------------------------ *)
+
+let alg_project ps child =
+  let used =
+    List.concat_map (fun (p : Logical.proj) -> Pred.bindings_of_operand p.Logical.p_expr) ps
+  in
+  Iterator.make
+    ~open_:(fun () -> Iterator.open_ child)
+    ~next:(fun () -> Option.map (fun env -> Env.narrow env used) (Iterator.next child))
+    ~close:(fun () -> Iterator.close child)
+
+let alg_unnest db ~src ~field ~out child =
+  ignore db;
+  Iterator.of_gen (fun () ->
+      Iterator.open_ child;
+      let pending = ref [] in
+      let rec pull () =
+        match !pending with
+        | env :: rest ->
+          pending := rest;
+          Some env
+        | [] -> (
+          match Iterator.next child with
+          | None ->
+            Iterator.close child;
+            None
+          | Some env ->
+            let elements =
+              match Store.field (Env.obj env src) field with
+              | v -> Value.set_elements v
+              | exception Not_found -> []
+            in
+            pending :=
+              List.filter_map
+                (fun v -> Option.map (fun oid -> Env.bind_ref env out oid) (Value.as_ref v))
+                elements;
+            pull ())
+      in
+      pull)
+
+(* ------------------------------------------------------------------ *)
+(* Set operations (by tuple identity: the OIDs of all bindings)         *)
+
+let env_key env = Env.key_of env (Env.bindings env)
+
+let hash_union left right =
+  Iterator.of_list_thunk (fun () ->
+      let seen = Hashtbl.create 64 in
+      let emit acc env =
+        let k = env_key env in
+        if Hashtbl.mem seen k then acc
+        else begin
+          Hashtbl.add seen k ();
+          env :: acc
+        end
+      in
+      let acc = List.fold_left emit [] (Iterator.to_list left) in
+      let acc = List.fold_left emit acc (Iterator.to_list right) in
+      List.rev acc)
+
+let hash_intersect left right =
+  Iterator.of_list_thunk (fun () ->
+      let rights = Hashtbl.create 64 in
+      List.iter (fun env -> Hashtbl.replace rights (env_key env) ()) (Iterator.to_list right);
+      let seen = Hashtbl.create 64 in
+      Iterator.to_list left
+      |> List.filter (fun env ->
+             let k = env_key env in
+             Hashtbl.mem rights k
+             && not (Hashtbl.mem seen k)
+             &&
+             (Hashtbl.add seen k ();
+              true)))
+
+let hash_difference left right =
+  Iterator.of_list_thunk (fun () ->
+      let rights = Hashtbl.create 64 in
+      List.iter (fun env -> Hashtbl.replace rights (env_key env) ()) (Iterator.to_list right);
+      let seen = Hashtbl.create 64 in
+      Iterator.to_list left
+      |> List.filter (fun env ->
+             let k = env_key env in
+             (not (Hashtbl.mem rights k))
+             && not (Hashtbl.mem seen k)
+             &&
+             (Hashtbl.add seen k ();
+              true)))
+
+let sort (o : Open_oodb.Physprop.order) child =
+  let key env =
+    match o.Open_oodb.Physprop.ord_field with
+    | Some f -> Eval.operand env (Pred.Field (o.Open_oodb.Physprop.ord_binding, f))
+    | None -> Value.Ref (Env.oid env o.Open_oodb.Physprop.ord_binding)
+  in
+  Iterator.of_list_thunk (fun () ->
+      Iterator.to_list child
+      |> List.stable_sort (fun a b -> Value.compare (key a) (key b)))

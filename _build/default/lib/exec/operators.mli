@@ -1,0 +1,64 @@
+(** Execution operators: one constructor per physical algorithm.
+
+    All operators are {!Iterator.t} factories. Disk and buffer traffic is
+    charged through the {!Db.t}'s store, so runs can be compared with the
+    optimizer's anticipated costs. *)
+
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Physical = Open_oodb.Physical
+module Config = Oodb_cost.Config
+
+val trim : string list -> Iterator.t -> Iterator.t
+(** Demote slots of bindings outside the list to bare references — the
+    runtime counterpart of a plan node's delivered in-memory properties. *)
+
+val file_scan : Db.t -> coll:string -> binding:string -> Iterator.t
+
+val index_scan :
+  Db.t -> coll:string -> binding:string -> index:string -> key:Value.t ->
+  residual:Pred.t -> derefs:(string * string option * string) list -> Iterator.t
+(** [derefs] are the collapsed Mat links whose output references the scan
+    re-emits. @raise Invalid_argument when the physical index is missing. *)
+
+val filter : Pred.t -> Iterator.t -> Iterator.t
+
+val hash_join : Db.t -> Config.t -> Pred.t -> build:Iterator.t -> probe:Iterator.t -> Iterator.t
+(** Equality conjuncts spanning both sides become the hash key; the rest
+    are evaluated as residual predicates. A build side exceeding the
+    memory budget triggers a simulated partitioning pass (temp-segment
+    writes and re-reads) so the spill shows up in the I/O statistics. *)
+
+val merge_join :
+  key_l:Pred.operand -> key_r:Pred.operand -> residual:Pred.t ->
+  left:Iterator.t -> right:Iterator.t -> Iterator.t
+(** Both inputs must arrive ordered on their key (ensured by the
+    optimizer's order property). Handles duplicate key blocks on both
+    sides. *)
+
+val pointer_join :
+  Db.t -> src:string -> field:string option -> out:string -> residual:Pred.t ->
+  Iterator.t -> Iterator.t
+
+val assembly :
+  Db.t -> paths:Physical.assembly_path list -> window:int ->
+  ?warm:string option -> Iterator.t -> Iterator.t
+(** Maintains a window of open references per path and fetches each
+    window in physical disk order (elevator). Tuples whose reference is
+    [Null] are dropped. [warm] pre-scans a collection into the buffer
+    pool (the paper's Lesson 7 warm-start variant). *)
+
+val alg_project : Logical.proj list -> Iterator.t -> Iterator.t
+(** Narrows tuples to the bindings the projections mention; row
+    construction happens in {!Executor.run}. *)
+
+val alg_unnest : Db.t -> src:string -> field:string -> out:string -> Iterator.t -> Iterator.t
+
+val hash_union : Iterator.t -> Iterator.t -> Iterator.t
+
+val hash_intersect : Iterator.t -> Iterator.t -> Iterator.t
+
+val hash_difference : Iterator.t -> Iterator.t -> Iterator.t
+
+val sort : Open_oodb.Physprop.order -> Iterator.t -> Iterator.t

@@ -1,0 +1,1 @@
+lib/storage/btree_index.ml: Array Buffer_pool Disk Int List Store Value

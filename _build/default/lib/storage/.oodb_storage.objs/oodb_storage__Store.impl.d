@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Buffer_pool Disk Hashtbl List Printf Value

@@ -1,0 +1,125 @@
+(* Entries are kept in a sorted array; the page layout (leaf fanout,
+   internal fanout, height) is simulated from entry counts so that lookups
+   can charge a realistic number of page reads without materializing the
+   tree. 16 bytes per leaf entry (key digest + OID) and 16 per separator
+   give fanouts of page_size / 16. *)
+
+type entry = { key : Value.t; oid : Value.oid }
+
+type t = {
+  name : string;
+  coll : string;
+  store : Store.t;
+  seg : Disk.segment;
+  entries : entry array; (* sorted by (key, oid) *)
+  leaf_fanout : int;
+  distinct : int;
+  height : int;
+  leaf_pages : int;
+}
+
+let compare_entry a b =
+  let c = Value.compare a.key b.key in
+  if c <> 0 then c else Int.compare a.oid b.oid
+
+let build store ~name ~coll ~key =
+  let entries =
+    Store.oids store ~coll
+    |> List.map (fun oid -> { key = key oid; oid })
+    |> Array.of_list
+  in
+  Array.sort compare_entry entries;
+  let n = Array.length entries in
+  let psize = Disk.page_size (Store.disk store) in
+  let fanout = max 2 (psize / 16) in
+  let leaf_pages = max 1 ((n + fanout - 1) / fanout) in
+  let rec levels pages acc = if pages <= 1 then acc else levels ((pages + fanout - 1) / fanout) (acc + 1) in
+  let height = 1 + levels leaf_pages 0 in
+  let internal_pages =
+    let rec go pages acc =
+      if pages <= 1 then acc + (if acc = 0 then 0 else 1)
+      else
+        let parents = (pages + fanout - 1) / fanout in
+        go parents (acc + parents)
+    in
+    if leaf_pages <= 1 then 0 else go leaf_pages 0
+  in
+  let distinct =
+    let d = ref 0 in
+    Array.iteri
+      (fun i e -> if i = 0 || Value.compare entries.(i - 1).key e.key <> 0 then incr d)
+      entries;
+    !d
+  in
+  let seg = Disk.alloc_segment (Store.disk store) ~name:("idx:" ^ name) in
+  Disk.extend (Store.disk store) seg (leaf_pages + max 0 internal_pages);
+  { name; coll; store; seg; entries; leaf_fanout = fanout; distinct; height; leaf_pages }
+
+let name t = t.name
+
+let collection t = t.coll
+
+let entry_count t = Array.length t.entries
+
+let distinct_keys t = t.distinct
+
+let height t = t.height
+
+let leaf_pages t = t.leaf_pages
+
+(* First index whose entry key is >= [key] (w.r.t. Value.compare). *)
+let lower_bound t key =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare t.entries.(mid).key key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index whose entry key is > [key]. *)
+let upper_bound t key =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare t.entries.(mid).key key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let charge_descent t first_leaf =
+  let buffer = Store.buffer t.store in
+  (* Internal pages are laid out after the leaves; charge one page per
+     internal level, then the starting leaf's page. *)
+  for level = 1 to t.height - 1 do
+    let page = min (Disk.segment_pages t.seg - 1) (t.leaf_pages + level - 1) in
+    if page >= 0 && Disk.segment_pages t.seg > 0 then Buffer_pool.read buffer t.seg page
+  done;
+  if Disk.segment_pages t.seg > 0 then Buffer_pool.read buffer t.seg (min first_leaf (Disk.segment_pages t.seg - 1))
+
+let charge_leaves t first last =
+  (* [first, last) entry range; charge each additional leaf page. *)
+  if last > first then begin
+    let buffer = Store.buffer t.store in
+    let first_leaf = first / t.leaf_fanout in
+    let last_leaf = (last - 1) / t.leaf_fanout in
+    for leaf = first_leaf + 1 to last_leaf do
+      Buffer_pool.read buffer t.seg leaf
+    done
+  end
+
+let slice t first last =
+  let rec go i acc = if i < first then acc else go (i - 1) (t.entries.(i).oid :: acc) in
+  if last <= first then [] else go (last - 1) []
+
+let lookup t key =
+  let first = lower_bound t key in
+  let last = upper_bound t key in
+  charge_descent t (if Array.length t.entries = 0 then 0 else min first (Array.length t.entries - 1) / t.leaf_fanout);
+  charge_leaves t first last;
+  slice t first last
+
+let lookup_range t ~lo ~hi =
+  let first = match lo with Some v -> lower_bound t v | None -> 0 in
+  let last = match hi with Some v -> upper_bound t v | None -> Array.length t.entries in
+  charge_descent t (if Array.length t.entries = 0 then 0 else min first (Array.length t.entries - 1) / t.leaf_fanout);
+  charge_leaves t first last;
+  slice t first last

@@ -1,0 +1,40 @@
+(** Simulated B+-tree index over a collection.
+
+    The index is built from an arbitrary key extraction function, which is
+    how both plain field indexes ([Tasks] on [time]) and the paper's path
+    indexes ([Cities] on [mayor().name()]) are expressed: a path index's
+    extractor dereferences intermediate objects at build time, so lookups
+    never touch the intermediate objects — exactly the behaviour the
+    collapse-to-index-scan rule exploits in Query 2.
+
+    Lookups charge simulated I/O for the root-to-leaf descent plus the
+    leaf pages holding the matching entries. Matching OIDs are returned in
+    key order; fetching the objects themselves is the caller's business
+    (and its cost). *)
+
+type t
+
+val build :
+  Store.t -> name:string -> coll:string -> key:(Value.oid -> Value.t) -> t
+(** Build over the current members of [coll]. Entries with [Null] keys are
+    indexed under [Null] (queries never look them up). Building charges no
+    I/O. *)
+
+val name : t -> string
+
+val collection : t -> string
+
+val entry_count : t -> int
+
+val distinct_keys : t -> int
+
+val height : t -> int
+(** Levels from root to leaf, >= 1. *)
+
+val leaf_pages : t -> int
+
+val lookup : t -> Value.t -> Value.oid list
+(** Equality probe. *)
+
+val lookup_range : t -> lo:Value.t option -> hi:Value.t option -> Value.oid list
+(** Inclusive range scan; [None] bounds are open ends. *)

@@ -1,0 +1,96 @@
+(* Classic O(1) LRU: hash table from absolute page address to a node of an
+   intrusive doubly-linked list ordered most- to least-recently used. *)
+
+type node = {
+  addr : int;
+  seg : Disk.segment;
+  page : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  disk : Disk.t;
+  cap : int;
+  table : (int, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable count : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create disk ~capacity_pages =
+  if capacity_pages <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { disk;
+    cap = capacity_pages;
+    table = Hashtbl.create 1024;
+    mru = None;
+    lru = None;
+    count = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let capacity t = t.cap
+
+let resident t = t.count
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some victim ->
+    unlink t victim;
+    Hashtbl.remove t.table victim.addr;
+    t.count <- t.count - 1;
+    t.evictions <- t.evictions + 1
+
+let read t seg page =
+  let addr = Disk.abs_page t.disk seg page in
+  match Hashtbl.find_opt t.table addr with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node
+  | None ->
+    t.misses <- t.misses + 1;
+    Disk.read t.disk seg page;
+    if t.count >= t.cap then evict_lru t;
+    let node = { addr; seg; page; prev = None; next = None } in
+    Hashtbl.add t.table addr node;
+    push_front t node;
+    t.count <- t.count + 1
+
+let contains t seg page = Hashtbl.mem t.table (Disk.abs_page t.disk seg page)
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None;
+  t.count <- 0
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,147 @@
+type obj = {
+  oid : Value.oid;
+  cls : string;
+  coll : string;
+  fields : (string * Value.t) array;
+}
+
+type coll_info = {
+  c_name : string;
+  c_cls : string;
+  c_obj_bytes : int;
+  c_seg : Disk.segment;
+  c_per_page : int;       (* objects per page; 1 when objects span pages *)
+  c_pages_per_obj : int;  (* pages per object; 1 when objects share pages *)
+  mutable c_members : Value.oid list; (* reverse insertion order *)
+  mutable c_count : int;
+}
+
+type t = {
+  disk : Disk.t;
+  buffer : Buffer_pool.t;
+  colls : (string, coll_info) Hashtbl.t;
+  objects : (Value.oid, obj) Hashtbl.t;
+  slots : (Value.oid, coll_info * int) Hashtbl.t; (* oid -> (collection, slot index) *)
+  mutable next_oid : Value.oid;
+}
+
+let create ?(page_size = 4096) ?(buffer_pages = 2048) () =
+  let disk = Disk.create ~page_size () in
+  { disk;
+    buffer = Buffer_pool.create disk ~capacity_pages:buffer_pages;
+    colls = Hashtbl.create 32;
+    objects = Hashtbl.create 4096;
+    slots = Hashtbl.create 4096;
+    next_oid = 1 }
+
+let disk t = t.disk
+
+let buffer t = t.buffer
+
+let declare_collection t ~name ~cls ~obj_bytes =
+  if obj_bytes <= 0 then invalid_arg "Store.declare_collection: obj_bytes must be positive";
+  if Hashtbl.mem t.colls name then
+    invalid_arg (Printf.sprintf "Store.declare_collection: duplicate collection %s" name);
+  let psize = Disk.page_size t.disk in
+  let per_page = max 1 (psize / obj_bytes) in
+  let pages_per_obj = if obj_bytes <= psize then 1 else (obj_bytes + psize - 1) / psize in
+  Hashtbl.add t.colls name
+    { c_name = name;
+      c_cls = cls;
+      c_obj_bytes = obj_bytes;
+      c_seg = Disk.alloc_segment t.disk ~name;
+      c_per_page = per_page;
+      c_pages_per_obj = pages_per_obj;
+      c_members = [];
+      c_count = 0 }
+
+let collections t = Hashtbl.fold (fun name _ acc -> name :: acc) t.colls []
+
+let get_coll t name =
+  match Hashtbl.find_opt t.colls name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Store: unknown collection %s" name)
+
+(* First page index of the object in slot [i]. *)
+let first_page c i = if c.c_pages_per_obj > 1 then i * c.c_pages_per_obj else i / c.c_per_page
+
+let last_page_needed c count =
+  if count = 0 then 0 else first_page c (count - 1) + c.c_pages_per_obj
+
+let insert t ~coll fields =
+  let c = get_coll t coll in
+  let oid = t.next_oid in
+  t.next_oid <- oid + 1;
+  let slot = c.c_count in
+  c.c_count <- slot + 1;
+  c.c_members <- oid :: c.c_members;
+  let needed = last_page_needed c c.c_count in
+  let have = Disk.segment_pages c.c_seg in
+  if needed > have then Disk.extend t.disk c.c_seg (needed - have);
+  let obj = { oid; cls = c.c_cls; coll; fields = Array.of_list fields } in
+  Hashtbl.add t.objects oid obj;
+  Hashtbl.add t.slots oid (c, slot);
+  oid
+
+let peek t oid =
+  match Hashtbl.find_opt t.objects oid with
+  | Some o -> o
+  | None -> raise Not_found
+
+let set_field t oid name v =
+  let o = peek t oid in
+  let rec go i =
+    if i >= Array.length o.fields then
+      invalid_arg (Printf.sprintf "Store.set_field: object %d has no field %s" oid name)
+    else if fst o.fields.(i) = name then o.fields.(i) <- (name, v)
+    else go (i + 1)
+  in
+  go 0
+
+let fetch t oid =
+  let o = peek t oid in
+  let c, slot = Hashtbl.find t.slots oid in
+  let page0 = first_page c slot in
+  for p = page0 to page0 + c.c_pages_per_obj - 1 do
+    Buffer_pool.read t.buffer c.c_seg p
+  done;
+  o
+
+let field o name =
+  let rec go i =
+    if i >= Array.length o.fields then raise Not_found
+    else if fst o.fields.(i) = name then snd o.fields.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let oids t ~coll = List.rev (get_coll t coll).c_members
+
+let scan t ~coll f =
+  let c = get_coll t coll in
+  let members = Array.of_list (List.rev c.c_members) in
+  let n = Array.length members in
+  let pages = last_page_needed c n in
+  (* Charge pages as we cross page boundaries, in physical order. *)
+  let next_page = ref 0 in
+  Array.iteri
+    (fun i oid ->
+      let p_end = first_page c i + c.c_pages_per_obj in
+      while !next_page < p_end && !next_page < pages do
+        Buffer_pool.read t.buffer c.c_seg !next_page;
+        incr next_page
+      done;
+      f (Hashtbl.find t.objects oid))
+    members
+
+let cardinality t ~coll = (get_coll t coll).c_count
+
+let segment t ~coll = (get_coll t coll).c_seg
+
+let obj_bytes t ~coll = (get_coll t coll).c_obj_bytes
+
+let location t oid =
+  let c, slot = Hashtbl.find t.slots oid in
+  (c.c_seg, first_page c slot)
+
+let class_of t oid = (peek t oid).cls

@@ -1,0 +1,46 @@
+type tree = Node of string * tree list
+
+(* The paper draws plans as a vertical spine for unary chains:
+
+     Select p
+     |
+     Mat c.mayor
+     |
+     Get Cities: c
+
+   and indents the extra inputs of n-ary operators underneath. *)
+
+let render tree =
+  let buf = Buffer.create 256 in
+  let rec go indent (Node (label, children)) =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf label;
+    Buffer.add_char buf '\n';
+    match children with
+    | [] -> ()
+    | [ child ] ->
+      Buffer.add_string buf indent;
+      Buffer.add_string buf "|\n";
+      go indent child
+    | children ->
+      let child_indent = indent ^ "    " in
+      List.iter
+        (fun child ->
+          Buffer.add_string buf indent;
+          Buffer.add_string buf "|\n";
+          go child_indent child)
+        children
+  in
+  go "" tree;
+  (* Drop the final newline so callers control spacing. *)
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let rec render_compact (Node (label, children)) =
+  match children with
+  | [] -> label
+  | _ ->
+    let inner = String.concat ", " (List.map render_compact children) in
+    label ^ "(" ^ inner ^ ")"

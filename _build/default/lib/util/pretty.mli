@@ -1,0 +1,11 @@
+(** Rendering of operator trees in the vertical style used by the paper's
+    figures: a node label, then each child indented beneath a [|] rail. *)
+
+type tree = Node of string * tree list
+
+val render : tree -> string
+(** Multi-line rendering; single-input chains are drawn as a vertical
+    spine (like the paper's Figures 2-13), multi-input nodes fan out. *)
+
+val render_compact : tree -> string
+(** One-line rendering [label(child, child)], for logs and tests. *)

@@ -1,0 +1,521 @@
+module Pretty = Oodb_util.Pretty
+
+module type MODEL = sig
+  module Op : sig
+    type t
+
+    val arity : t -> int
+
+    val equal : t -> t -> bool
+
+    val hash : t -> int
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Alg : sig
+    type t
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Lprop : sig
+    type t
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Pprop : sig
+    type t
+
+    val equal : t -> t -> bool
+
+    val hash : t -> int
+
+    val satisfies : delivered:t -> required:t -> bool
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Cost : sig
+    type t
+
+    val zero : t
+
+    val add : t -> t -> t
+
+    val sub : t -> t -> t
+
+    val compare : t -> t -> int
+
+    val infinite : t
+
+    val pp : Format.formatter -> t -> unit
+  end
+end
+
+module Make (M : MODEL) = struct
+  type group = int
+
+  type mexpr = { mop : M.Op.t; minputs : group list }
+
+  type build =
+    | Node of M.Op.t * build list
+    | Ref of group
+
+  type group_data = {
+    gid : int;
+    mutable gexprs : mexpr list; (* reverse insertion order, canonical inputs *)
+    mutable glprop : M.Lprop.t;
+  }
+
+  type mutable_stats = {
+    mutable s_trule_fired : int;
+    mutable s_trule_tried : int;
+    mutable s_candidates : int;
+    mutable s_enforcer_uses : int;
+    mutable s_phys_memo_hits : int;
+  }
+
+  type ctx = {
+    mutable parents : int array; (* union-find over group ids *)
+    mutable groups : group_data option array; (* indexed by gid *)
+    mutable n_groups : int;
+    mexpr_index : (int * int list, group) Hashtbl.t; (* (op hash, inputs) is a weak key; resolved by scan *)
+    ms : mutable_stats;
+  }
+
+  (* ------------------------------------------------------------------ *)
+  (* Union-find over groups                                              *)
+
+  let rec find ctx g =
+    let p = ctx.parents.(g) in
+    if p = g then g
+    else begin
+      let root = find ctx p in
+      ctx.parents.(g) <- root;
+      root
+    end
+
+  let group_data ctx g =
+    match ctx.groups.(find ctx g) with
+    | Some gd -> gd
+    | None -> invalid_arg "Volcano: unknown group"
+
+  let canon_mexpr ctx m = { m with minputs = List.map (find ctx) m.minputs }
+
+  let mexpr_equal ctx a b =
+    M.Op.equal a.mop b.mop
+    && List.length a.minputs = List.length b.minputs
+    && List.for_all2 (fun x y -> find ctx x = find ctx y) a.minputs b.minputs
+
+  (* ------------------------------------------------------------------ *)
+  (* Memo construction                                                   *)
+
+  let ensure_capacity ctx =
+    let n = Array.length ctx.parents in
+    if ctx.n_groups >= n then begin
+      let parents = Array.init (2 * n) (fun i -> if i < n then ctx.parents.(i) else i) in
+      let groups = Array.init (2 * n) (fun i -> if i < n then ctx.groups.(i) else None) in
+      ctx.parents <- parents;
+      ctx.groups <- groups
+    end
+
+  let new_group ctx lprop =
+    ensure_capacity ctx;
+    let gid = ctx.n_groups in
+    ctx.n_groups <- gid + 1;
+    ctx.parents.(gid) <- gid;
+    ctx.groups.(gid) <- Some { gid; gexprs = []; glprop = lprop };
+    gid
+
+  let index_key ctx m =
+    let m = canon_mexpr ctx m in
+    (M.Op.hash m.mop, m.minputs)
+
+  let lookup_mexpr ctx m =
+    match Hashtbl.find_all ctx.mexpr_index (index_key ctx m) with
+    | [] -> None
+    | gs ->
+      (* Hash collisions on Op.hash are possible; verify by scanning the
+         candidate groups for a structurally equal expression. *)
+      List.find_opt
+        (fun g -> List.exists (fun m' -> mexpr_equal ctx m m') (group_data ctx g).gexprs)
+        (List.map (find ctx) gs)
+
+  let group_lprop ctx g = (group_data ctx g).glprop
+
+  let group_exprs ctx g =
+    (* unions elsewhere in the memo can retroactively make an expression
+       self-referential; never surface those *)
+    (group_data ctx g).gexprs
+    |> List.filter_map (fun m ->
+           let m = canon_mexpr ctx m in
+           if List.exists (fun g' -> g' = find ctx g) m.minputs then None else Some m)
+    |> List.rev
+
+  (* A multi-expression whose inputs include its own group asserts
+     G = op(..G..); it can never contribute a finite plan and (worse)
+     lets rules like select-merge diverge, so such forms are dropped. *)
+  let self_referential ctx g m = List.exists (fun g' -> find ctx g' = find ctx g) m.minputs
+
+  (* Merge two groups discovered to be logically equivalent. *)
+  let union ctx g1 g2 =
+    let g1 = find ctx g1 and g2 = find ctx g2 in
+    if g1 <> g2 then begin
+      let winner, loser = if g1 < g2 then g1, g2 else g2, g1 in
+      let wd = group_data ctx winner and ld = group_data ctx loser in
+      ctx.parents.(loser) <- winner;
+      wd.gexprs <- List.filter (fun m -> not (self_referential ctx winner m)) wd.gexprs;
+      List.iter
+        (fun m ->
+          if
+            (not (self_referential ctx winner m))
+            && not (List.exists (fun m' -> mexpr_equal ctx m m') wd.gexprs)
+          then begin
+            wd.gexprs <- m :: wd.gexprs;
+            Hashtbl.add ctx.mexpr_index (index_key ctx m) winner
+          end)
+        (List.rev ld.gexprs);
+      ld.gexprs <- []
+    end
+
+  (* Add [m] to group [g]; returns the worklist entries to process and
+     whether the expression was new anywhere in the memo. *)
+  let add_mexpr ctx g m =
+    let g = find ctx g in
+    let m = canon_mexpr ctx m in
+    if self_referential ctx g m then None
+    else
+    match lookup_mexpr ctx m with
+    | Some g' when g' = g -> None
+    | Some g' ->
+      union ctx g g';
+      None
+    | None ->
+      let gd = group_data ctx g in
+      if List.exists (fun m' -> mexpr_equal ctx m m') gd.gexprs then None
+      else begin
+        gd.gexprs <- m :: gd.gexprs;
+        Hashtbl.add ctx.mexpr_index (index_key ctx m) g;
+        Some (g, m)
+      end
+
+  (* ------------------------------------------------------------------ *)
+  (* Rules and specification                                             *)
+
+  type trule = {
+    t_name : string;
+    t_apply : ctx -> mexpr -> build list;
+  }
+
+  type candidate = {
+    cand_alg : M.Alg.t;
+    cand_inputs : (group * M.Pprop.t) list;
+    cand_cost : M.Cost.t;
+    cand_delivers : M.Pprop.t;
+  }
+
+  type irule = {
+    i_name : string;
+    i_apply : ctx -> required:M.Pprop.t -> mexpr -> candidate list;
+  }
+
+  type enforcer = {
+    e_name : string;
+    e_apply : ctx -> required:M.Pprop.t -> group -> (M.Alg.t * M.Pprop.t * M.Cost.t) list;
+  }
+
+  type spec = {
+    derive_lprop : M.Op.t -> M.Lprop.t list -> M.Lprop.t;
+    transformations : trule list;
+    implementations : irule list;
+    enforcers : enforcer list;
+  }
+
+  type plan = {
+    alg : M.Alg.t;
+    children : plan list;
+    cost : M.Cost.t;
+    delivered : M.Pprop.t;
+  }
+
+  type stats = {
+    groups : int;
+    mexprs : int;
+    trule_fired : int;
+    trule_tried : int;
+    candidates : int;
+    enforcer_uses : int;
+    phys_memo_hits : int;
+  }
+
+  type expr = Expr of M.Op.t * expr list
+
+  type result = {
+    plan : plan option;
+    stats : stats;
+    root : group;
+    ctx : ctx;
+  }
+
+  (* ------------------------------------------------------------------ *)
+  (* Logical closure                                                     *)
+
+  (* Intern a build tree; fresh interior nodes get fresh (or shared)
+     groups, with logical properties derived bottom-up. *)
+  let rec intern_build spec ctx queue b =
+    match b with
+    | Ref g -> find ctx g
+    | Node (op, children) ->
+      let gs = List.map (intern_build spec ctx queue) children in
+      let m = { mop = op; minputs = gs } in
+      (match lookup_mexpr ctx m with
+      | Some g -> g
+      | None ->
+        let lprop = spec.derive_lprop op (List.map (group_lprop ctx) gs) in
+        let g = new_group ctx lprop in
+        (match add_mexpr ctx g m with
+        | Some entry -> Queue.add entry queue
+        | None -> ());
+        g)
+
+  let rec intern_expr spec ctx queue (Expr (op, children)) =
+    intern_build spec ctx queue
+      (Node (op, List.map (fun e -> Ref (intern_expr spec ctx queue e)) children))
+
+  let closure spec ctx queue ~enabled_trules =
+    while not (Queue.is_empty queue) do
+      let g, m = Queue.pop queue in
+      List.iter
+        (fun rule ->
+          ctx.ms.s_trule_tried <- ctx.ms.s_trule_tried + 1;
+          let builds = rule.t_apply ctx m in
+          List.iter
+            (fun b ->
+              match b with
+              | Ref _ ->
+                (* A rule asserting the whole group equals another group:
+                   merge them. *)
+                let g' = intern_build spec ctx queue b in
+                union ctx g g'
+              | Node (op, children) ->
+                let gs =
+                  List.map (fun c -> intern_build spec ctx queue (c : build)) children
+                in
+                let m' = { mop = op; minputs = gs } in
+                (match add_mexpr ctx g m' with
+                | Some entry ->
+                  ctx.ms.s_trule_fired <- ctx.ms.s_trule_fired + 1;
+                  Queue.add entry queue
+                | None -> ()))
+            builds)
+        enabled_trules
+    done
+
+  (* ------------------------------------------------------------------ *)
+  (* Physical search                                                     *)
+
+  type entry = {
+    mutable best : plan option;
+    mutable searched : M.Cost.t option; (* fully searched up to this limit *)
+    mutable in_progress : bool;
+  }
+
+  let cost_le a b = M.Cost.compare a b <= 0
+
+  module Phys_key = struct
+    type t = int * M.Pprop.t
+
+    let equal (g1, p1) (g2, p2) = g1 = g2 && M.Pprop.equal p1 p2
+
+    let hash (g, p) = (g * 0x61c88647) lxor M.Pprop.hash p
+  end
+
+  module Phys_tbl = Hashtbl.Make (Phys_key)
+
+  let optimize_physical ctx ~enabled_irules ~enabled_enforcers ~pruning ~initial_limit ~root
+      ~required =
+    let memo : entry Phys_tbl.t = Phys_tbl.create 256 in
+    let find_entry g p = Phys_tbl.find_opt memo (g, p) in
+    let add_entry g p e = Phys_tbl.add memo (g, p) e in
+    let rec optimize g required limit =
+      let g = find ctx g in
+      let entry =
+        match find_entry g required with
+        | Some e -> e
+        | None ->
+          let e = { best = None; searched = None; in_progress = false } in
+          add_entry g required e;
+          e
+      in
+      if entry.in_progress then None
+      else
+        let proven_optimal =
+          match entry.best, entry.searched with
+          | Some p, Some s -> cost_le p.cost s
+          | _ -> false
+        in
+        if proven_optimal then begin
+          ctx.ms.s_phys_memo_hits <- ctx.ms.s_phys_memo_hits + 1;
+          match entry.best with
+          | Some p when cost_le p.cost limit -> Some p
+          | Some _ | None -> None
+        end
+        else
+          match entry.searched with
+          | Some s when cost_le limit s ->
+            (* already searched at least this far and found nothing *)
+            ctx.ms.s_phys_memo_hits <- ctx.ms.s_phys_memo_hits + 1;
+            (match entry.best with
+            | Some p when cost_le p.cost limit -> Some p
+            | Some _ | None -> None)
+          | _ ->
+            entry.in_progress <- true;
+            let best = ref entry.best in
+            let current_limit () =
+              if not pruning then M.Cost.infinite
+              else
+                match !best with
+                | Some p when cost_le p.cost limit -> p.cost
+                | _ -> limit
+            in
+            let consider plan =
+              match !best with
+              | Some b when cost_le b.cost plan.cost -> ()
+              | _ -> best := Some plan
+            in
+            let try_candidate cand =
+              ctx.ms.s_candidates <- ctx.ms.s_candidates + 1;
+              if M.Pprop.satisfies ~delivered:cand.cand_delivers ~required then begin
+                let limit0 = current_limit () in
+                if cost_le cand.cand_cost limit0 then begin
+                  let rec opt_children acc_cost acc_plans = function
+                    | [] -> Some (List.rev acc_plans, acc_cost)
+                    | (child, cprops) :: rest -> (
+                      let remaining = M.Cost.sub (current_limit ()) acc_cost in
+                      match optimize child cprops remaining with
+                      | None -> None
+                      | Some cplan ->
+                        opt_children (M.Cost.add acc_cost cplan.cost) (cplan :: acc_plans) rest)
+                  in
+                  match opt_children cand.cand_cost [] cand.cand_inputs with
+                  | None -> ()
+                  | Some (children, total) ->
+                    consider
+                      { alg = cand.cand_alg;
+                        children;
+                        cost = total;
+                        delivered = cand.cand_delivers }
+                end
+              end
+            in
+            List.iter
+              (fun m ->
+                List.iter
+                  (fun (ir : irule) ->
+                    List.iter try_candidate (ir.i_apply ctx ~required m))
+                  enabled_irules)
+              (group_exprs ctx g);
+            (* Enforcers: achieve [required] by gluing a property-enforcing
+               algorithm on top of a plan for weaker requirements. *)
+            List.iter
+              (fun (en : enforcer) ->
+                List.iter
+                  (fun (alg, weaker, ecost) ->
+                    let remaining = M.Cost.sub (current_limit ()) ecost in
+                    match optimize g weaker remaining with
+                    | None -> ()
+                    | Some sub ->
+                      ctx.ms.s_enforcer_uses <- ctx.ms.s_enforcer_uses + 1;
+                      consider
+                        { alg;
+                          children = [ sub ];
+                          cost = M.Cost.add ecost sub.cost;
+                          delivered = required })
+                  (en.e_apply ctx ~required g))
+              enabled_enforcers;
+            entry.best <- !best;
+            entry.searched <-
+              Some
+                (match entry.searched with
+                | Some s when not (cost_le s limit) -> s
+                | _ -> limit);
+            entry.in_progress <- false;
+            (match !best with
+            | Some p when cost_le p.cost limit -> Some p
+            | Some _ | None -> None)
+    in
+    optimize root required initial_limit
+
+  (* ------------------------------------------------------------------ *)
+  (* Entry point                                                         *)
+
+  let count_mexprs ctx =
+    let n = ref 0 in
+    for g = 0 to ctx.n_groups - 1 do
+      if find ctx g = g then n := !n + List.length (group_data ctx g).gexprs
+    done;
+    !n
+
+  let count_groups ctx =
+    let n = ref 0 in
+    for g = 0 to ctx.n_groups - 1 do
+      if find ctx g = g then incr n
+    done;
+    !n
+
+  let run ?(disabled = []) ?(pruning = true) ?(initial_limit = M.Cost.infinite) spec expr
+      ~required =
+    let enabled name = not (List.mem name disabled) in
+    let ctx =
+      { parents = Array.init 64 (fun i -> i);
+        groups = Array.make 64 None;
+        n_groups = 0;
+        mexpr_index = Hashtbl.create 256;
+        ms =
+          { s_trule_fired = 0;
+            s_trule_tried = 0;
+            s_candidates = 0;
+            s_enforcer_uses = 0;
+            s_phys_memo_hits = 0 } }
+    in
+    let queue = Queue.create () in
+    let root = intern_expr spec ctx queue expr in
+    closure spec ctx queue
+      ~enabled_trules:(List.filter (fun r -> enabled r.t_name) spec.transformations);
+    let plan =
+      optimize_physical ctx
+        ~enabled_irules:(List.filter (fun r -> enabled r.i_name) spec.implementations)
+        ~enabled_enforcers:(List.filter (fun r -> enabled r.e_name) spec.enforcers)
+        ~pruning ~initial_limit ~root:(find ctx root) ~required
+    in
+    let stats =
+      { groups = count_groups ctx;
+        mexprs = count_mexprs ctx;
+        trule_fired = ctx.ms.s_trule_fired;
+        trule_tried = ctx.ms.s_trule_tried;
+        candidates = ctx.ms.s_candidates;
+        enforcer_uses = ctx.ms.s_enforcer_uses;
+        phys_memo_hits = ctx.ms.s_phys_memo_hits }
+    in
+    { plan; stats; root = find ctx root; ctx }
+
+  let rec plan_to_tree plan =
+    Pretty.Node (Format.asprintf "%a" M.Alg.pp plan.alg, List.map plan_to_tree plan.children)
+
+  let pp_plan ppf plan = Format.pp_print_string ppf (Pretty.render (plan_to_tree plan))
+
+  let pp_memo ppf ctx =
+    for g = 0 to ctx.n_groups - 1 do
+      if find ctx g = g then begin
+        let gd = group_data ctx g in
+        Format.fprintf ppf "group %d: %a@." g M.Lprop.pp gd.glprop;
+        List.iter
+          (fun m ->
+            Format.fprintf ppf "  %a [%s]@." M.Op.pp m.mop
+              (String.concat " " (List.map string_of_int (List.map (find ctx) m.minputs))))
+          (List.rev gd.gexprs)
+      end
+    done
+end

@@ -1,0 +1,191 @@
+(** A re-implementation of the Volcano optimizer generator (Graefe &
+    McKenna, ICDE 1993) as a generic OCaml library.
+
+    Where the original translated a model description file into C source,
+    here the data model is an OCaml module satisfying {!MODEL} and the
+    optimizer implementor supplies transformation rules, implementation
+    rules, enforcers and property/cost support functions as first-class
+    values in a {!module-Make.spec}. The engine contributes what Volcano
+    contributed: the memo structure, exhaustive logical closure under the
+    transformation rules, and goal-directed top-down search over
+    (group, required physical properties) pairs with memoization,
+    branch-and-bound pruning, and enforcer introduction.
+
+    The search is {e goal-directed}: it "considers only those subplans
+    that can deliver the physical properties that are required by the
+    algorithm of the containing plan" (paper §4), in contrast to
+    bottom-up optimizers that keep all subplans with a priori
+    "interesting" properties. *)
+
+(** Data-model types and their basic operations. *)
+module type MODEL = sig
+  module Op : sig
+    type t
+    (** logical operator, including its arguments *)
+
+    val arity : t -> int
+
+    val equal : t -> t -> bool
+
+    val hash : t -> int
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Alg : sig
+    type t
+    (** physical algorithm or enforcer, including its arguments *)
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Lprop : sig
+    type t
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Pprop : sig
+    type t
+    (** physical property vector *)
+
+    val equal : t -> t -> bool
+
+    val hash : t -> int
+
+    val satisfies : delivered:t -> required:t -> bool
+    (** Does a plan delivering the first vector meet the second? Must be
+        a partial order: reflexive and transitive. *)
+
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Cost : sig
+    type t
+
+    val zero : t
+
+    val add : t -> t -> t
+
+    val sub : t -> t -> t
+    (** Used only for branch-and-bound limit arithmetic. *)
+
+    val compare : t -> t -> int
+
+    val infinite : t
+
+    val pp : Format.formatter -> t -> unit
+  end
+end
+
+module Make (M : MODEL) : sig
+  type group = int
+  (** Equivalence class of logical expressions in the memo. *)
+
+  type mexpr = { mop : M.Op.t; minputs : group list }
+  (** Multi-expression: an operator over input groups. *)
+
+  (** Expression produced by a transformation rule: fresh nodes over
+      existing groups. *)
+  type build =
+    | Node of M.Op.t * build list
+    | Ref of group
+
+  type ctx
+  (** Read access to the memo for rules. *)
+
+  val group_lprop : ctx -> group -> M.Lprop.t
+
+  val group_exprs : ctx -> group -> mexpr list
+  (** All multi-expressions currently in a group (logical closure runs to
+      a fixpoint before physical search starts, so during implementation
+      rules this is the complete set). *)
+
+  type trule = {
+    t_name : string;
+    t_apply : ctx -> mexpr -> build list;
+        (** alternatives equivalent to the given multi-expression; the
+            engine inserts them into the same group *)
+  }
+
+  type candidate = {
+    cand_alg : M.Alg.t;
+    cand_inputs : (group * M.Pprop.t) list;
+        (** input groups with the properties the algorithm requires of
+            them; rules may reach through to descendant groups (that is
+            how collapse-to-index-scan consumes a Select-Mat-Get spine
+            with zero plan inputs) *)
+    cand_cost : M.Cost.t;  (** local cost of the algorithm itself *)
+    cand_delivers : M.Pprop.t;
+  }
+
+  type irule = {
+    i_name : string;
+    i_apply : ctx -> required:M.Pprop.t -> mexpr -> candidate list;
+  }
+
+  type enforcer = {
+    e_name : string;
+    e_apply : ctx -> required:M.Pprop.t -> group -> (M.Alg.t * M.Pprop.t * M.Cost.t) list;
+        (** ways to achieve [required] on this group's output: the
+            enforcer algorithm, the (weaker) properties required of its
+            input plan, and the enforcer's local cost *)
+  }
+
+  type spec = {
+    derive_lprop : M.Op.t -> M.Lprop.t list -> M.Lprop.t;
+    transformations : trule list;
+    implementations : irule list;
+    enforcers : enforcer list;
+  }
+
+  type plan = {
+    alg : M.Alg.t;
+    children : plan list;
+    cost : M.Cost.t;  (** total cost of the subtree *)
+    delivered : M.Pprop.t;
+  }
+
+  type stats = {
+    groups : int;
+    mexprs : int;
+    trule_fired : int;  (** transformation applications that added a new mexpr *)
+    trule_tried : int;
+    candidates : int;  (** implementation candidates costed *)
+    enforcer_uses : int;
+    phys_memo_hits : int;
+  }
+
+  type expr = Expr of M.Op.t * expr list
+  (** Input logical expression tree. *)
+
+  type result = {
+    plan : plan option;
+    stats : stats;
+    root : group;
+    ctx : ctx;  (** memo snapshot, for inspection and tests *)
+  }
+
+  val run :
+    ?disabled:string list ->
+    ?pruning:bool ->
+    ?initial_limit:M.Cost.t ->
+    spec ->
+    expr ->
+    required:M.Pprop.t ->
+    result
+  (** Optimize [expr] for the required properties. [disabled] names
+      transformation/implementation/enforcer rules to ignore (the paper
+      "simulates" other optimizers this way). [pruning] (default [true])
+      enables branch-and-bound cost limits. [initial_limit] seeds the
+      branch-and-bound budget — e.g. with the cost of a plan found by a
+      heuristic optimizer (Volcano's "heuristic guidance" mechanism);
+      the result is [None] if no plan at or below the limit exists. *)
+
+  val pp_plan : Format.formatter -> plan -> unit
+
+  val plan_to_tree : plan -> Oodb_util.Pretty.tree
+
+  val pp_memo : Format.formatter -> ctx -> unit
+  (** Dump of all groups and their multi-expressions. *)
+end

@@ -1,0 +1,1 @@
+lib/workloads/datagen.ml: Array Hashtbl List Oodb_catalog Oodb_cost Oodb_exec Oodb_storage Printf

@@ -1,0 +1,1 @@
+lib/workloads/datagen.mli: Oodb_catalog Oodb_exec

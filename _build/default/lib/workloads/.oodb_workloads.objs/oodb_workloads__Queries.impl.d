@@ -1,0 +1,1 @@
+lib/workloads/queries.ml: Oodb_algebra Oodb_storage

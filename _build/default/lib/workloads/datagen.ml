@@ -1,0 +1,237 @@
+module Value = Oodb_storage.Value
+module Store = Oodb_storage.Store
+module Btree_index = Oodb_storage.Btree_index
+module Catalog = Oodb_catalog.Catalog
+module OC = Oodb_catalog.Open_oodb_catalog
+module Db = Oodb_exec.Db
+
+type counts = {
+  n_plants : int;
+  n_jobs : int;
+  n_depts : int;
+  n_persons : int;
+  n_capitals : int;
+  n_countries : int;
+  n_cities : int;
+  n_employees : int;
+  n_tasks : int;
+  n_info : int;
+  person_names : int;  (** distinct person-name pool (includes "Joe") *)
+  employee_names : int;  (** distinct employee-name pool (includes "Fred") *)
+  task_times : int;  (** distinct completion times *)
+  team_size : int;
+}
+
+let counts_of_scale scale =
+  let s n lo = max lo (int_of_float (float_of_int n *. scale)) in
+  let n_persons = s 100_000 50 in
+  let n_employees = s 50_000 50 in
+  let n_tasks = s 10_000 20 in
+  { n_plants = s 100 10;
+    n_jobs = s 5_000 10;
+    n_depts = s 1_000 20;
+    n_persons;
+    n_capitals = s 160 4;
+    n_countries = s 160 4;
+    n_cities = s 10_000 20;
+    n_employees;
+    n_tasks;
+    n_info = s 1_000 5;
+    person_names = min 5_000 (max 2 (n_persons / 20));
+    employee_names = min 100 (max 2 (n_employees / 20));
+    task_times = min 1_000 (max 2 (n_tasks / 10));
+    team_size = 9 }
+
+let vstr s = Value.Str s
+
+let vint i = Value.Int i
+
+let vref o = Value.Ref o
+
+(* Object sizes from Table 1 (bytes). *)
+let obj_bytes =
+  [ ("Capitals", 400); ("Cities", 200); ("Countries", 300); ("Departments", 400);
+    ("Employees", 250); ("Information", 400); ("Jobs", 250); ("Persons", 100);
+    ("Plant.heap", 1_000); ("Tasks", 150) ]
+
+let person_name c i = if i mod c.person_names = 0 then "Joe" else Printf.sprintf "pname_%d" (i mod c.person_names)
+
+let employee_name c i =
+  if i mod c.employee_names = 0 then "Fred" else Printf.sprintf "ename_%d" (i mod c.employee_names)
+
+let plant_location i = if i mod 10 = 0 then "Dallas" else Printf.sprintf "loc_%d" (i mod 10)
+
+let build_data store c =
+  let cls_of = [ ("Capitals", "Capital"); ("Cities", "City"); ("Countries", "Country");
+                 ("Departments", "Department"); ("Employees", "Employee");
+                 ("Information", "Information"); ("Jobs", "Job"); ("Persons", "Person");
+                 ("Plant.heap", "Plant"); ("Tasks", "Task") ] in
+  List.iter
+    (fun (coll, bytes) ->
+      Store.declare_collection store ~name:coll ~cls:(List.assoc coll cls_of) ~obj_bytes:bytes)
+    obj_bytes;
+  let tabulate n f = Array.init n f in
+  let plants =
+    tabulate c.n_plants (fun i ->
+        Store.insert store ~coll:"Plant.heap"
+          [ ("name", vstr (Printf.sprintf "plant_%d" i)); ("location", vstr (plant_location i)) ])
+  in
+  let jobs =
+    tabulate c.n_jobs (fun i ->
+        Store.insert store ~coll:"Jobs"
+          [ ("name", vstr (Printf.sprintf "job_%d" i)); ("level", vint (i mod 10)) ])
+  in
+  let depts =
+    tabulate c.n_depts (fun i ->
+        Store.insert store ~coll:"Departments"
+          [ ("name", vstr (Printf.sprintf "dept_%d" i));
+            ("floor", vint ((i mod 10) + 1));
+            ("plant", vref plants.(i mod c.n_plants)) ])
+  in
+  let persons =
+    tabulate c.n_persons (fun i ->
+        Store.insert store ~coll:"Persons"
+          [ ("name", vstr (person_name c i)); ("age", vint (20 + (i mod 80))) ])
+  in
+  let capitals =
+    tabulate c.n_capitals (fun i ->
+        Store.insert store ~coll:"Capitals"
+          [ ("name", vstr (Printf.sprintf "capital_%d" i)); ("population", vint (10_000 * (i + 1))) ])
+  in
+  let countries =
+    tabulate c.n_countries (fun i ->
+        Store.insert store ~coll:"Countries"
+          [ ("name", vstr (Printf.sprintf "country_%d" i));
+            ("president", vref persons.(i * 613 mod c.n_persons));
+            ("capital", vref capitals.(i mod c.n_capitals)) ])
+  in
+  let _cities =
+    tabulate c.n_cities (fun i ->
+        Store.insert store ~coll:"Cities"
+          [ ("name", vstr (Printf.sprintf "city_%d" i));
+            ("population", vint (1_000 * ((i mod 977) + 1)));
+            (* a large coprime multiplier scatters mayors across the Person
+               extent (realistic disk layout); exactly 2 of 10,000 cities
+               get a "Joe" at scale 1 since gcd(57331, 5000) = 1 *)
+            ("mayor", vref persons.(i * 57331 mod c.n_persons));
+            ("country", vref countries.(i mod c.n_countries)) ])
+  in
+  let employees =
+    tabulate c.n_employees (fun i ->
+        Store.insert store ~coll:"Employees"
+          [ ("name", vstr (employee_name c i));
+            ("age", vint (20 + (i mod 46)));
+            ("salary", Value.Float (20_000.0 +. float_of_int (i mod 1000) *. 75.0));
+            ("last_raise", Value.Date (Value.date_of_ymd (1988 + (i mod 6)) ((i mod 12) + 1) 1));
+            ("dept", vref depts.(i mod c.n_depts));
+            ("job", vref jobs.(i mod c.n_jobs)) ])
+  in
+  let _tasks =
+    tabulate c.n_tasks (fun i ->
+        let members =
+          List.init c.team_size (fun k ->
+              (* Every other task whose time lands on 100 gets employee 0
+                 (a "Fred") as a member, so Query 4 has a non-empty
+                 result (5 rows at scale 1). *)
+              if k = 0 && i mod (2 * c.task_times) = 99 then 0
+              else ((i * 7) + (k * 13)) mod c.n_employees)
+          |> List.sort_uniq compare
+          |> List.map (fun e -> vref employees.(e))
+        in
+        Store.insert store ~coll:"Tasks"
+          [ ("name", vstr (Printf.sprintf "task_%d" i));
+            ("time", vint ((i mod c.task_times) + 1));
+            ("team_members", Value.Set members) ])
+  in
+  let _info =
+    tabulate c.n_info (fun i ->
+        Store.insert store ~coll:"Information"
+          [ ("subject", vstr (Printf.sprintf "subject_%d" i));
+            ("body", vstr (Printf.sprintf "body of document %d" i)) ])
+  in
+  ()
+
+let measured_catalog store c =
+  let cat = Catalog.create (OC.schema ()) in
+  let kind_of = function
+    | "Capitals" | "Cities" | "Employees" | "Tasks" -> Catalog.Set
+    | "Plant.heap" -> Catalog.Hidden
+    | _ -> Catalog.Extent
+  in
+  let cls_of coll = (Store.peek store (List.hd (Store.oids store ~coll))).Store.cls in
+  List.iter
+    (fun (coll, bytes) ->
+      Catalog.add_collection cat
+        { Catalog.co_name = coll;
+          co_class = cls_of coll;
+          co_kind = kind_of coll;
+          co_card = Store.cardinality store ~coll;
+          co_obj_bytes = bytes })
+    obj_bytes;
+  (* Measured distinct-value statistics (same set of attributes as the
+     paper-exact catalog; Task.time and Employee.name intentionally come
+     only from index statistics). *)
+  let distinct coll field =
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun oid -> Hashtbl.replace seen (Store.field (Store.peek store oid) field) ())
+      (Store.oids store ~coll);
+    Hashtbl.length seen
+  in
+  Catalog.set_distinct cat ~cls:"Person" ~field:"name" (distinct "Persons" "name");
+  Catalog.set_distinct cat ~cls:"Person" ~field:"age" (distinct "Persons" "age");
+  Catalog.set_distinct cat ~cls:"Plant" ~field:"location" (distinct "Plant.heap" "location");
+  Catalog.set_distinct cat ~cls:"Department" ~field:"floor" (distinct "Departments" "floor");
+  Catalog.set_distinct cat ~cls:"City" ~field:"name" (distinct "Cities" "name");
+  Catalog.set_distinct cat ~cls:"Job" ~field:"name" (distinct "Jobs" "name");
+  let avg_team =
+    let total =
+      List.fold_left
+        (fun acc oid ->
+          acc + List.length (Value.set_elements (Store.field (Store.peek store oid) "team_members")))
+        0 (Store.oids store ~coll:"Tasks")
+    in
+    float_of_int total /. float_of_int (max 1 c.n_tasks)
+  in
+  Catalog.set_avg_set_size cat ~cls:"Task" ~field:"team_members" avg_team;
+  cat
+
+let build_indexes store db cat =
+  let mayor_name oid =
+    let city = Store.peek store oid in
+    match Value.as_ref (Store.field city "mayor") with
+    | Some m -> Store.field (Store.peek store m) "name"
+    | None -> Value.Null
+  in
+  let field_key coll field oid =
+    ignore coll;
+    Store.field (Store.peek store oid) field
+  in
+  let add name coll path key =
+    let ix = Btree_index.build store ~name ~coll ~key in
+    Db.add_index db ix;
+    Catalog.add_index cat
+      { Catalog.ix_name = name;
+        ix_coll = coll;
+        ix_path = path;
+        ix_distinct = Btree_index.distinct_keys ix }
+  in
+  add "cities_mayor_name" "Cities" [ "mayor"; "name" ] mayor_name;
+  add "tasks_time" "Tasks" [ "time" ] (field_key "Tasks" "time");
+  add "employees_name" "Employees" [ "name" ] (field_key "Employees" "name")
+
+let generate ?(scale = 1.0) ?buffer_pages () =
+  let c = counts_of_scale scale in
+  let buffer_pages =
+    match buffer_pages with
+    | Some n -> n
+    | None -> Oodb_cost.Config.default.Oodb_cost.Config.buffer_pages
+  in
+  let store = Store.create ~buffer_pages () in
+  build_data store c;
+  let cat = measured_catalog store c in
+  let db = Db.create cat store in
+  build_indexes store db cat;
+  db
+
+let generate_catalog_only ?scale () = Db.catalog (generate ?scale ~buffer_pages:64 ())

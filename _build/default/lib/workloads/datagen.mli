@@ -1,0 +1,24 @@
+(** Deterministic synthetic database matching the Table 1 catalog.
+
+    Key invariants relied on by the experiments (at [scale = 1.0]):
+    - 10 of the 100 plants are located in Dallas, so 100 of the 1,000
+      departments and 5,000 of the 50,000 employees qualify for Query 1;
+    - exactly 2 of the 10,000 cities have a mayor named "Joe" (Query 2);
+    - employee names have 100 distinct values including "Fred";
+    - task completion times have 1,000 distinct values, so
+      [time == 100] selects ~10 tasks (Query 4);
+    - every reference is containment-consistent with the collection the
+      Mat-to-Join rule would join against (referential integrity).
+
+    All data derives from fixed congruences, not a PRNG, so runs are
+    reproducible and counts are exact. *)
+
+val generate : ?scale:float -> ?buffer_pages:int -> unit -> Oodb_exec.Db.t
+(** Build store + physical indexes under a fresh
+    {!Oodb_catalog.Open_oodb_catalog.catalog_with_indexes} catalog whose
+    collection cardinalities are adjusted to the actual generated counts
+    when [scale <> 1.0]. [scale] scales every collection (useful for fast
+    tests; minimum sizes keep the schema connected). *)
+
+val generate_catalog_only : ?scale:float -> unit -> Oodb_catalog.Catalog.t
+(** The catalog that [generate] would pair with the data. *)

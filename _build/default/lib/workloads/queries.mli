@@ -1,0 +1,36 @@
+(** The paper's example queries as optimizer-input logical algebra.
+
+    Binding names follow the paper's path naming, so the plans render
+    exactly like its figures: [Mat e.dept] introduces binding ["e.dept"],
+    which plays the role of the paper's [d]. *)
+
+module Logical = Oodb_algebra.Logical
+
+val q1 : Logical.t
+(** Figure 5: name, department name and job name of employees working in
+    a plant in Dallas. Three Mats over the Employees set; the Plant class
+    has no extent. *)
+
+val q2 : Logical.t
+(** Figure 8: cities whose mayor is called Joe (path index on
+    [mayor.name] makes collapse-to-index-scan applicable). *)
+
+val q3 : Logical.t
+(** Figure 10: Query 2 plus the mayor's age in the projection, requiring
+    the mayor component in memory. *)
+
+val q4 : Logical.t
+(** Figure 12: tasks with a completion time of 100 hours and a team
+    member called Fred (set-valued path; one index on [time], one on
+    [name]). *)
+
+val fig2 : Logical.t
+(** Figure 2: cities whose mayor has the same name as the country's
+    president — the multi-Mat path-expression example. *)
+
+val fig3 : Logical.t
+(** Figure 3: the set-valued path [task.team_members] unnested and
+    materialized. *)
+
+val all : (string * Logical.t) list
+(** Named list of everything above. *)

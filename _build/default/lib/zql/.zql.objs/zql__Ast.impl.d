@@ -1,0 +1,1 @@
+lib/zql/ast.ml: Format Oodb_storage String

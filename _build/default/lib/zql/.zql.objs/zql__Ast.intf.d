@@ -1,0 +1,1 @@
+lib/zql/ast.mli: Format Oodb_storage

@@ -1,0 +1,1 @@
+lib/zql/lexer.ml: Buffer Format List Printf String

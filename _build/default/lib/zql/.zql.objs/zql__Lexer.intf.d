@@ -1,0 +1,1 @@
+lib/zql/lexer.mli:

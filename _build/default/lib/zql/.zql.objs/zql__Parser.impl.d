@@ -1,0 +1,1 @@
+lib/zql/parser.ml: Ast Format Lexer List Oodb_storage Printf

@@ -1,0 +1,1 @@
+lib/zql/simplify.ml: Ast Format List Oodb_algebra Oodb_catalog Oodb_storage Parser Result

@@ -1,0 +1,1 @@
+lib/zql/simplify.mli: Ast Oodb_algebra Oodb_catalog

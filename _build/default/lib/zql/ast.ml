@@ -1,0 +1,91 @@
+module Value = Oodb_storage.Value
+
+type path = {
+  p_root : string;
+  p_steps : string list;
+}
+
+type expr =
+  | Path of path
+  | Lit of Value.t
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | Cmp of cmp * expr * expr
+  | And of cond * cond
+  | Exists of query
+
+and range = {
+  r_class : string option;
+  r_var : string;
+  r_src : src;
+}
+
+and src =
+  | Coll of string
+  | Set_path of path
+
+and select_item = { si_expr : expr; si_as : string option }
+
+and query = {
+  q_select : select_item list;
+  q_from : range list;
+  q_where : cond option;
+  q_order : path option;
+}
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | (Cmp _ | Exists _) as c -> [ c ]
+
+let pp_path ppf p =
+  Format.pp_print_string ppf (String.concat "." (p.p_root :: p.p_steps))
+
+let pp_expr ppf = function
+  | Path p -> pp_path ppf p
+  | Lit v -> Value.pp ppf v
+
+let cmp_name = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_cond ppf = function
+  | Cmp (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_expr a (cmp_name op) pp_expr b
+  | And (a, b) -> Format.fprintf ppf "%a && %a" pp_cond a pp_cond b
+  | Exists q -> Format.fprintf ppf "EXISTS (%a)" pp_query q
+
+and pp_range ppf r =
+  (match r.r_class with
+  | Some cls -> Format.fprintf ppf "%s %s IN " cls r.r_var
+  | None -> Format.fprintf ppf "%s IN " r.r_var);
+  match r.r_src with
+  | Coll c -> Format.pp_print_string ppf c
+  | Set_path p -> pp_path ppf p
+
+and pp_select_item ppf si =
+  pp_expr ppf si.si_expr;
+  match si.si_as with Some n -> Format.fprintf ppf " AS %s" n | None -> ()
+
+and pp_query ppf q =
+  Format.pp_print_string ppf "SELECT ";
+  (match q.q_select with
+  | [] -> Format.pp_print_string ppf "*"
+  | items ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      pp_select_item ppf items);
+  Format.pp_print_string ppf " FROM ";
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_range ppf q.q_from;
+  (match q.q_where with
+  | None -> ()
+  | Some c -> Format.fprintf ppf " WHERE %a" pp_cond c);
+  match q.q_order with
+  | None -> ()
+  | Some p -> Format.fprintf ppf " ORDER BY %a" pp_path p

@@ -1,0 +1,63 @@
+(** Abstract syntax of the ZQL query language.
+
+    ZQL is a standalone rendition of the paper's ZQL[C++]: SQL-shaped
+    object queries with range variables over collections or set-valued
+    paths, path expressions, [Newobject] projections and existentially
+    quantified subqueries.
+
+    {[
+      SELECT Newobject(e.name, e.dept.name)
+      FROM Employee e IN Employees
+      WHERE e.dept.plant.location == "Dallas" && e.age >= 32
+      ORDER BY e.name
+    ]}
+
+    [ORDER BY] compiles to the optimizer's required sort-order physical
+    property rather than to an operator — the search decides whether a
+    sort is actually needed. *)
+
+type path = {
+  p_root : string;  (** range variable *)
+  p_steps : string list;  (** attribute steps, possibly empty *)
+}
+
+type expr =
+  | Path of path
+  | Lit of Oodb_storage.Value.t
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | Cmp of cmp * expr * expr
+  | And of cond * cond
+  | Exists of query  (** [EXISTS (SELECT ...)] *)
+
+and range = {
+  r_class : string option;  (** optional class annotation, as in [Employee e IN ...] *)
+  r_var : string;
+  r_src : src;
+}
+
+and src =
+  | Coll of string  (** named collection *)
+  | Set_path of path  (** set-valued component of an earlier range variable *)
+
+and select_item = { si_expr : expr; si_as : string option }
+
+and query = {
+  q_select : select_item list;  (** empty list encodes [SELECT *] *)
+  q_from : range list;
+  q_where : cond option;
+  q_order : path option;  (** [ORDER BY path] *)
+}
+
+val conjuncts : cond -> cond list
+(** Flatten nested [And]s (the result contains no [And]). *)
+
+val pp_path : Format.formatter -> path -> unit
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_cond : Format.formatter -> cond -> unit
+
+val pp_query : Format.formatter -> query -> unit

@@ -1,0 +1,39 @@
+(** Hand-written lexer for ZQL. *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | IN
+  | AS
+  | EXISTS
+  | ORDER
+  | BY
+  | NEWOBJECT
+  | DATE
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | ANDAND
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+val token_name : token -> string
+
+val tokenize : string -> (token list, string) result
+(** Whole-input tokenization; keywords are case-insensitive, identifiers
+    keep their case. Errors carry a position message. *)

@@ -1,0 +1,209 @@
+module Value = Oodb_storage.Value
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let error fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error "expected identifier but found %s" (Lexer.token_name t)
+
+let parse_path st =
+  let root = ident st in
+  let rec steps acc =
+    if peek st = Lexer.DOT then begin
+      advance st;
+      steps (ident st :: acc)
+    end
+    else List.rev acc
+  in
+  { Ast.p_root = root; p_steps = steps [] }
+
+let parse_literal st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    Value.Int i
+  | Lexer.FLOAT f ->
+    advance st;
+    Value.Float f
+  | Lexer.STRING s ->
+    advance st;
+    Value.Str s
+  | Lexer.TRUE ->
+    advance st;
+    Value.Bool true
+  | Lexer.FALSE ->
+    advance st;
+    Value.Bool false
+  | Lexer.DATE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let int_arg () =
+      match peek st with
+      | Lexer.INT i ->
+        advance st;
+        i
+      | t -> error "expected integer in date(...) but found %s" (Lexer.token_name t)
+    in
+    let y = int_arg () in
+    expect st Lexer.COMMA;
+    let m = int_arg () in
+    expect st Lexer.COMMA;
+    let d = int_arg () in
+    expect st Lexer.RPAREN;
+    Value.Date (Value.date_of_ymd y m d)
+  | t -> error "expected literal but found %s" (Lexer.token_name t)
+
+let parse_expr st =
+  match peek st with
+  | Lexer.IDENT _ -> Ast.Path (parse_path st)
+  | _ -> Ast.Lit (parse_literal st)
+
+let parse_cmp_op st =
+  let op =
+    match peek st with
+    | Lexer.EQEQ -> Ast.Eq
+    | Lexer.NEQ -> Ast.Ne
+    | Lexer.LT -> Ast.Lt
+    | Lexer.LE -> Ast.Le
+    | Lexer.GT -> Ast.Gt
+    | Lexer.GE -> Ast.Ge
+    | t -> error "expected comparison operator but found %s" (Lexer.token_name t)
+  in
+  advance st;
+  op
+
+let rec parse_query st =
+  expect st Lexer.SELECT;
+  let q_select = parse_select st in
+  expect st Lexer.FROM;
+  let q_from = parse_ranges st in
+  let q_where =
+    if peek st = Lexer.WHERE then begin
+      advance st;
+      Some (parse_cond st)
+    end
+    else None
+  in
+  let q_order =
+    if peek st = Lexer.ORDER then begin
+      advance st;
+      expect st Lexer.BY;
+      Some (parse_path st)
+    end
+    else None
+  in
+  if peek st = Lexer.SEMI then advance st;
+  { Ast.q_select; q_from; q_where; q_order }
+
+and parse_select st =
+  match peek st with
+  | Lexer.STAR ->
+    advance st;
+    []
+  | Lexer.NEWOBJECT ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let items = parse_items st in
+    expect st Lexer.RPAREN;
+    items
+  | _ -> parse_items st
+
+and parse_items st =
+  let item () =
+    let si_expr = parse_expr st in
+    let si_as =
+      if peek st = Lexer.AS then begin
+        advance st;
+        Some (ident st)
+      end
+      else None
+    in
+    { Ast.si_expr; si_as }
+  in
+  let rec more acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      more (item () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ item () ]
+
+and parse_ranges st =
+  let range () =
+    (* [Class var IN src] or [var IN src] *)
+    let first = ident st in
+    let r_class, r_var =
+      match peek st with
+      | Lexer.IDENT _ -> (Some first, ident st)
+      | _ -> (None, first)
+    in
+    expect st Lexer.IN;
+    let src_path = parse_path st in
+    let r_src =
+      if src_path.Ast.p_steps = [] then Ast.Coll src_path.Ast.p_root
+      else Ast.Set_path src_path
+    in
+    { Ast.r_class; r_var; r_src }
+  in
+  let rec more acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      more (range () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ range () ]
+
+and parse_cond st =
+  let atom () =
+    match peek st with
+    | Lexer.EXISTS ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let q = parse_query st in
+      expect st Lexer.RPAREN;
+      Ast.Exists q
+    | _ ->
+      let lhs = parse_expr st in
+      let op = parse_cmp_op st in
+      let rhs = parse_expr st in
+      Ast.Cmp (op, lhs, rhs)
+  in
+  let rec more acc =
+    if peek st = Lexer.ANDAND then begin
+      advance st;
+      more (Ast.And (acc, atom ()))
+    end
+    else acc
+  in
+  more (atom ())
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+    let st = { tokens } in
+    match parse_query st with
+    | q ->
+      if peek st = Lexer.EOF then Ok q
+      else Error (Printf.sprintf "trailing input: %s" (Lexer.token_name (peek st)))
+    | exception Parse_error msg -> Error msg)
+
+let parse_exn input =
+  match parse input with Ok q -> q | Error msg -> invalid_arg ("ZQL parse error: " ^ msg)

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for ZQL.
+
+    Grammar (conditions are conjunctive, as in the paper's simplification
+    stage; disjunction is rejected at the lexer):
+
+    {v
+    query  ::= SELECT select FROM range ("," range)*
+               [WHERE cond] [ORDER BY path] [";"]
+    select ::= "*" | Newobject "(" item ("," item)* ")" | item ("," item)*
+    item   ::= expr [AS ident]
+    range  ::= [ident] ident IN source      -- optional class annotation
+    source ::= ident                        -- collection
+             | ident ("." ident)+           -- set-valued path
+    cond   ::= atom ("&&" atom)*
+    atom   ::= EXISTS "(" query ")" | expr cmp expr
+    expr   ::= path | int | float | string | true | false
+             | date "(" int "," int "," int ")"
+    v} *)
+
+val parse : string -> (Ast.query, string) result
+
+val parse_exn : string -> Ast.query
+(** @raise Invalid_argument on syntax errors. *)

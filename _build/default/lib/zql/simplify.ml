@@ -1,0 +1,245 @@
+module Value = Oodb_storage.Value
+module Catalog = Oodb_catalog.Catalog
+module Schema = Oodb_catalog.Schema
+module Logical = Oodb_algebra.Logical
+module Pred = Oodb_algebra.Pred
+
+exception Simplify_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Simplify_error m)) fmt
+
+type state = {
+  cat : Catalog.t;
+  mutable tree : Logical.t;
+  mutable env : (string * string) list; (* binding -> class, in scope order *)
+  mutable mats : string list; (* Mat output bindings already introduced *)
+}
+
+let schema st = Catalog.schema st.cat
+
+let class_of st b =
+  match List.assoc_opt b st.env with
+  | Some cls -> cls
+  | None -> error "unknown range variable %s" b
+
+let bind st b cls =
+  if List.mem_assoc b st.env then error "range variable %s defined twice" b;
+  st.env <- st.env @ [ (b, cls) ]
+
+(* Introduce [Mat src.field] (once) and return the output binding. *)
+let add_mat st ~src ~field =
+  let out = src ^ "." ^ field in
+  if not (List.mem out st.mats) then begin
+    st.tree <- Logical.mat ~out ~src ~field st.tree;
+    st.mats <- out :: st.mats;
+    let cls = class_of st src in
+    match Schema.follow (schema st) ~cls field with
+    | Some target -> bind st out target
+    | None -> error "%s.%s is not a reference" cls field
+  end;
+  out
+
+(* Resolve all but the last step of a path to a binding holding the
+   object the last step applies to; intermediate steps must be
+   single-valued references and introduce Mats. *)
+let resolve_prefix st (p : Ast.path) =
+  List.fold_left
+    (fun binding step ->
+      let cls = class_of st binding in
+      match Schema.attr_ty (schema st) ~cls step with
+      | Some (Schema.Ref _) -> add_mat st ~src:binding ~field:step
+      | Some ty ->
+        error "path step %s.%s has type %a, expected a single-valued reference" binding step
+          Schema.pp_attr_ty ty
+      | None -> error "class %s has no attribute %s" cls step)
+    p.Ast.p_root
+    (match p.Ast.p_steps with [] -> [] | steps -> List.filteri (fun i _ -> i < List.length steps - 1) steps)
+
+let last_step (p : Ast.path) =
+  match List.rev p.Ast.p_steps with [] -> None | last :: _ -> Some last
+
+(* Scalar type of an operand, for comparability checking. *)
+type sty = S_bool | S_num | S_str | S_date | S_obj of string
+
+let sty_of_attr = function
+  | Schema.Bool -> S_bool
+  | Schema.Int | Schema.Float -> S_num
+  | Schema.String -> S_str
+  | Schema.Date -> S_date
+  | Schema.Ref cls -> S_obj cls
+  | Schema.Set_of _ -> error "set-valued component used in scalar position"
+
+let sty_of_lit = function
+  | Value.Bool _ -> S_bool
+  | Value.Int _ | Value.Float _ -> S_num
+  | Value.Str _ -> S_str
+  | Value.Date _ -> S_date
+  | Value.Null | Value.Ref _ | Value.Set _ -> error "unsupported literal"
+
+(* Translate an expression to a predicate operand, introducing Mats for
+   intermediate path links. *)
+let operand st = function
+  | Ast.Lit v -> (Pred.Const v, sty_of_lit v)
+  | Ast.Path p -> (
+    match last_step p with
+    | None -> (Pred.Self p.Ast.p_root, S_obj (class_of st p.Ast.p_root))
+    | Some last ->
+      let binding = resolve_prefix st p in
+      let cls = class_of st binding in
+      (match Schema.attr_ty (schema st) ~cls last with
+      | None -> error "class %s has no attribute %s" cls last
+      | Some ty -> (Pred.Field (binding, last), sty_of_attr ty)))
+
+let compatible a b =
+  match a, b with
+  | S_bool, S_bool | S_num, S_num | S_str, S_str | S_date, S_date -> true
+  | S_obj c1, S_obj c2 -> c1 = c2
+  | _ -> false
+
+let cmp_of = function
+  | Ast.Eq -> Pred.Eq
+  | Ast.Ne -> Pred.Ne
+  | Ast.Lt -> Pred.Lt
+  | Ast.Le -> Pred.Le
+  | Ast.Gt -> Pred.Gt
+  | Ast.Ge -> Pred.Ge
+
+let fresh_ref_binding v = "&" ^ v
+
+let rec add_range st (r : Ast.range) ~first =
+  match r.Ast.r_src with
+  | Ast.Coll coll -> (
+    match Catalog.find_collection st.cat coll with
+    | None -> error "unknown collection %s" coll
+    | Some co ->
+      (match r.Ast.r_class with
+      | Some cls when cls <> co.Catalog.co_class ->
+        error "collection %s contains %s objects, not %s" coll co.Catalog.co_class cls
+      | Some _ | None -> ());
+      let get = Logical.get ~coll ~binding:r.Ast.r_var in
+      if first then st.tree <- get
+      else st.tree <- Logical.join [] st.tree get;
+      bind st r.Ast.r_var co.Catalog.co_class)
+  | Ast.Set_path p ->
+    if first then error "the first range must be over a collection";
+    let last =
+      match last_step p with
+      | Some l -> l
+      | None -> error "set-valued range %s is not a path" p.Ast.p_root
+    in
+    let prefix = resolve_prefix st p in
+    let cls = class_of st prefix in
+    (match Schema.attr_ty (schema st) ~cls last with
+    | Some (Schema.Set_of (Schema.Ref target)) ->
+      (match r.Ast.r_class with
+      | Some ann when ann <> target ->
+        error "%s.%s contains %s objects, not %s" prefix last target ann
+      | Some _ | None -> ());
+      let ref_binding = fresh_ref_binding r.Ast.r_var in
+      st.tree <- Logical.unnest ~out:ref_binding ~src:prefix ~field:last st.tree;
+      bind st ref_binding target;
+      (* materialize the revealed references, as in the paper's Fig. 3 *)
+      st.tree <- Logical.mat_ref ~out:r.Ast.r_var ~src:ref_binding st.tree;
+      bind st r.Ast.r_var target
+    | Some ty ->
+      error "%s.%s has type %a, expected a set of references" prefix last Schema.pp_attr_ty ty
+    | None -> error "class %s has no attribute %s" cls last)
+
+(* Flatten a condition into predicate atoms, inlining EXISTS subqueries
+   by appending their ranges (witness-pair semantics). *)
+and atoms_of_cond st cond =
+  Ast.conjuncts cond
+  |> List.concat_map (function
+       | Ast.Cmp (op, l, r) ->
+         let lo, lt = operand st l in
+         let ro, rt = operand st r in
+         if not (compatible lt rt) then
+           error "incomparable operands in %a" Ast.pp_cond (Ast.Cmp (op, l, r));
+         [ Pred.atom (cmp_of op) lo ro ]
+       | Ast.And _ -> assert false (* flattened by conjuncts *)
+       | Ast.Exists q ->
+         List.iter (fun r -> add_range st r ~first:false) q.Ast.q_from;
+         (match q.Ast.q_where with
+         | None -> []
+         | Some c -> atoms_of_cond st c))
+
+type compiled = {
+  c_logical : Logical.t;
+  c_order : (string * string option) option;
+}
+
+let query_ordered cat (q : Ast.query) =
+  match
+    let st =
+      { cat;
+        tree = Logical.get ~coll:"?" ~binding:"?" (* replaced by the first range *);
+        env = [];
+        mats = [] }
+    in
+    (match q.Ast.q_from with
+    | [] -> error "empty FROM clause"
+    | first :: rest ->
+      add_range st first ~first:true;
+      List.iter (fun r -> add_range st r ~first:false) rest);
+    let atoms = match q.Ast.q_where with None -> [] | Some c -> atoms_of_cond st c in
+    if atoms <> [] then st.tree <- Logical.select atoms st.tree;
+    (match q.Ast.q_select with
+    | [] -> () (* SELECT *: deliver the full scope *)
+    | items ->
+      let projs =
+        List.map
+          (fun (si : Ast.select_item) ->
+            let op, _ = operand st si.Ast.si_expr in
+            let default_name =
+              match si.Ast.si_expr with
+              | Ast.Path p -> Format.asprintf "%a" Ast.pp_path p
+              | Ast.Lit v -> Value.to_string v
+            in
+            { Logical.p_expr = op;
+              p_name = (match si.Ast.si_as with Some n -> n | None -> default_name) })
+          items
+      in
+      st.tree <- Logical.project projs st.tree);
+    let order =
+      match q.Ast.q_order with
+      | None -> None
+      | Some p -> (
+        match last_step p with
+        | None ->
+          if not (List.mem p.Ast.p_root (Logical.scope st.tree)) then
+            error "ORDER BY %s: not in the query result" p.Ast.p_root;
+          Some (p.Ast.p_root, None)
+        | Some last ->
+          let binding = resolve_prefix st p in
+          let cls = class_of st binding in
+          (match Schema.attr_ty (schema st) ~cls last with
+          | None -> error "class %s has no attribute %s" cls last
+          | Some (Schema.Set_of _) -> error "cannot ORDER BY a set-valued component"
+          | Some _ -> ());
+          if not (List.mem binding (Logical.scope st.tree)) then
+            error "ORDER BY %a: %s is not in the query result" Ast.pp_path p binding;
+          Some (binding, Some last))
+    in
+    match Logical.well_formed cat st.tree with
+    | Ok () -> { c_logical = st.tree; c_order = order }
+    | Error msg -> error "internal simplification bug: %s" msg
+  with
+  | compiled -> Ok compiled
+  | exception Simplify_error msg -> Result.Error msg
+
+let query cat q = Result.map (fun c -> c.c_logical) (query_ordered cat q)
+
+let compile cat input =
+  match Parser.parse input with
+  | Error msg -> Error ("parse error: " ^ msg)
+  | Ok ast -> query cat ast
+
+let compile_ordered cat input =
+  match Parser.parse input with
+  | Error msg -> Error ("parse error: " ^ msg)
+  | Ok ast -> query_ordered cat ast
+
+let compile_exn cat input =
+  match compile cat input with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("ZQL: " ^ msg)

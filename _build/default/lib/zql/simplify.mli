@@ -1,0 +1,46 @@
+(** Query simplification: ZQL parse trees to optimizer-input algebra.
+
+    This is the paper's separation between the user-level algebra (rich,
+    complex arguments) and the optimizable algebra (simple arguments):
+
+    - every link of a path expression becomes an explicit [Mat] operator
+      (named after the path, so [e.dept.plant] introduces bindings
+      ["e.dept"] and ["e.dept.plant"]);
+    - a set-valued range ([m IN t.team_members]) becomes [Unnest]
+      revealing the references plus a [Mat] resolving them, as in the
+      paper's Figure 3;
+    - additional FROM ranges combine with joins (an empty join predicate
+      until selection conjuncts are pushed into it by the optimizer);
+    - [EXISTS] subqueries are unnested into the enclosing query
+      (producing witness pairs, the formulation the paper itself uses
+      for Query 4);
+    - the WHERE conjunction becomes a single [Select] with simple
+      operands only.
+
+    Scalar type checking (comparability, path validity, class
+    annotations) happens here. *)
+
+type compiled = {
+  c_logical : Oodb_algebra.Logical.t;
+  c_order : (string * string option) option;
+      (** [ORDER BY] as a physical-property request: the binding and the
+          field (or [None] for the object itself, ordered by identity).
+          Callers turn this into the optimizer's required sort-order
+          property. *)
+}
+
+val query :
+  Oodb_catalog.Catalog.t -> Ast.query -> (Oodb_algebra.Logical.t, string) result
+(** Simplify, ignoring any [ORDER BY] (see {!query_ordered}). *)
+
+val query_ordered : Oodb_catalog.Catalog.t -> Ast.query -> (compiled, string) result
+
+val compile :
+  Oodb_catalog.Catalog.t -> string -> (Oodb_algebra.Logical.t, string) result
+(** Parse then simplify (ignoring [ORDER BY]). *)
+
+val compile_ordered : Oodb_catalog.Catalog.t -> string -> (compiled, string) result
+(** Parse then simplify, returning the [ORDER BY] request alongside. *)
+
+val compile_exn : Oodb_catalog.Catalog.t -> string -> Oodb_algebra.Logical.t
+(** @raise Invalid_argument on any error. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Helpers Lazy List Oodb_algebra Oodb_baselines Oodb_catalog Oodb_cost Oodb_exec Oodb_storage Oodb_workloads Open_oodb String

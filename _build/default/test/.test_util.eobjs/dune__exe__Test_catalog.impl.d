@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Format List Oodb_catalog Option String

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest List Oodb_algebra Oodb_catalog Oodb_cost Oodb_storage Oodb_workloads QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest List Oodb_catalog Oodb_cost Open_oodb Option

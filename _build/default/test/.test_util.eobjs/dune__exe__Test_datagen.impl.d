@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Hashtbl Helpers Lazy List Oodb_catalog Oodb_exec Oodb_storage Oodb_workloads Option

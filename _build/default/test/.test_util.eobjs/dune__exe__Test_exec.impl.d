@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Helpers Lazy List Oodb_algebra Oodb_catalog Oodb_cost Oodb_exec Oodb_storage Oodb_workloads Open_oodb

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers Lazy List Oodb_algebra Oodb_catalog Oodb_cost Oodb_exec Oodb_storage Oodb_workloads Open_oodb Printf QCheck2 QCheck_alcotest

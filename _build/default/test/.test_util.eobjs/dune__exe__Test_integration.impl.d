@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Helpers Lazy List Oodb_algebra Oodb_baselines Oodb_cost Oodb_exec Oodb_storage Oodb_workloads Open_oodb Option Printf Zql

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Float Helpers Lazy List Oodb_algebra Oodb_baselines Oodb_cost Oodb_exec Oodb_storage Open_oodb Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest List Oodb_algebra Oodb_catalog Oodb_storage Oodb_workloads Open_oodb

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest List Oodb_storage QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Oodb_util QCheck2 QCheck_alcotest

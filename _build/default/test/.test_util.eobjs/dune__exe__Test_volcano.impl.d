@@ -1,0 +1,1 @@
+test/test_volcano.ml: Alcotest Bool Float Format Hashtbl List String Volcano

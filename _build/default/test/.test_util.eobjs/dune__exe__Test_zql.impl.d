@@ -1,0 +1,1 @@
+test/test_zql.ml: Alcotest Format Helpers Lazy List Oodb_algebra Oodb_catalog Oodb_exec Oodb_storage Oodb_workloads Open_oodb String Zql

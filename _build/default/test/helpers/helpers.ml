@@ -1,0 +1,64 @@
+(* Shared fixtures and assertions for the test suite. *)
+
+module Value = Oodb_storage.Value
+module Engine = Open_oodb.Model.Engine
+module Physical = Open_oodb.Physical
+module Executor = Oodb_exec.Executor
+
+(* A small generated database shared by tests that only read it. *)
+let small_db = lazy (Oodb_workloads.Datagen.generate ~scale:0.01 ~buffer_pages:256 ())
+
+(* A medium database for integration tests. *)
+let medium_db = lazy (Oodb_workloads.Datagen.generate ~scale:0.05 ~buffer_pages:512 ())
+
+let canon_rows rows =
+  let canon_row row = List.sort (fun (a, _) (b, _) -> String.compare a b) row in
+  rows |> List.map canon_row
+  |> List.sort (fun r1 r2 ->
+         List.compare
+           (fun (k1, v1) (k2, v2) ->
+             let c = String.compare k1 k2 in
+             if c <> 0 then c else Value.compare v1 v2)
+           r1 r2)
+
+let rows_to_string rows =
+  rows
+  |> List.map (fun row ->
+         row
+         |> List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Value.to_string v))
+         |> String.concat ", ")
+  |> String.concat "\n"
+
+let check_same_rows msg expected actual =
+  let e = canon_rows expected and a = canon_rows actual in
+  if e <> a then
+    Alcotest.failf "%s: result sets differ\n--- expected (%d rows)\n%s\n--- actual (%d rows)\n%s"
+      msg (List.length e) (rows_to_string e) (List.length a) (rows_to_string a)
+
+(* Flatten a physical plan to its algorithm list, root first. *)
+let rec algs (plan : Engine.plan) =
+  plan.Engine.alg :: List.concat_map algs plan.Engine.children
+
+let alg_label = function
+  | Physical.File_scan _ -> "file-scan"
+  | Physical.Index_scan _ -> "index-scan"
+  | Physical.Filter _ -> "filter"
+  | Physical.Hash_join _ -> "hash-join"
+  | Physical.Merge_join _ -> "merge-join"
+  | Physical.Pointer_join _ -> "pointer-join"
+  | Physical.Assembly _ -> "assembly"
+  | Physical.Alg_project _ -> "project"
+  | Physical.Alg_unnest _ -> "unnest"
+  | Physical.Hash_union -> "union"
+  | Physical.Hash_intersect -> "intersect"
+  | Physical.Hash_difference -> "difference"
+  | Physical.Sort _ -> "sort"
+
+let shape plan = List.map alg_label (algs plan)
+
+let check_shape msg expected plan =
+  Alcotest.(check (list string)) msg expected (shape plan)
+
+let run_rows db plan = Executor.run db plan
+
+let total_cost (plan : Engine.plan) = Oodb_cost.Cost.total plan.Engine.cost

@@ -1,0 +1,135 @@
+module Value = Oodb_storage.Value
+module Logical = Oodb_algebra.Logical
+module Cost = Oodb_cost.Cost
+module Catalog = Oodb_catalog.Catalog
+module OC = Oodb_catalog.Open_oodb_catalog
+module Q = Oodb_workloads.Queries
+module Opt = Open_oodb.Optimizer
+module Physical = Open_oodb.Physical
+module Engine = Open_oodb.Model.Engine
+module Greedy = Oodb_baselines.Greedy
+module Naive = Oodb_baselines.Naive
+
+let greedy_exn cat q =
+  match Greedy.optimize cat q with Ok p -> p | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Naive baseline                                                       *)
+
+let test_naive_shape_q1 () =
+  let cat = OC.catalog_with_indexes () in
+  let p = Opt.plan_exn (Naive.optimize cat Q.q1) in
+  (* no joins, no indexes: pure pointer chasing *)
+  List.iter
+    (fun alg ->
+      match (alg : Physical.t) with
+      | Physical.Hash_join _ | Physical.Pointer_join _ | Physical.Index_scan _ ->
+        Alcotest.fail "naive plan must not join or use indexes"
+      | _ -> ())
+    (Helpers.algs p)
+
+let test_naive_never_beats_optimizer () =
+  let cat = OC.catalog_with_indexes () in
+  List.iter
+    (fun (name, q) ->
+      let full = Cost.total (Opt.cost (Opt.optimize cat q)) in
+      let naive = Cost.total (Opt.cost (Naive.optimize cat q)) in
+      Alcotest.(check bool) (name ^ ": optimizer <= naive") true (full <= naive +. 1e-9))
+    Q.all
+
+let test_naive_executes_same_results () =
+  let db = Lazy.force Helpers.small_db in
+  let cat = Oodb_exec.Db.catalog db in
+  List.iter
+    (fun (name, q) ->
+      let full = Opt.plan_exn (Opt.optimize cat q) in
+      let naive = Opt.plan_exn (Naive.optimize cat q) in
+      Helpers.check_same_rows name (Helpers.run_rows db naive) (Helpers.run_rows db full))
+    Q.all
+
+(* ------------------------------------------------------------------ *)
+(* Greedy baseline                                                      *)
+
+let test_greedy_fig13_shape () =
+  let cat = OC.catalog_with_indexes () in
+  let p = greedy_exn cat Q.q4 in
+  (* Fig 13: hash join of the employee-name index scan with the unnested
+     time-index scan *)
+  Helpers.check_shape "figure 13" [ "hash-join"; "index-scan"; "unnest"; "index-scan" ] p
+
+let test_greedy_uses_both_indexes () =
+  let cat = OC.catalog_with_indexes () in
+  let p = greedy_exn cat Q.q4 in
+  let indexes =
+    List.filter_map
+      (function Physical.Index_scan { index; _ } -> Some index | _ -> None)
+      (Helpers.algs p)
+  in
+  Alcotest.(check (list string)) "greedily uses both" [ "employees_name"; "tasks_time" ]
+    (List.sort compare indexes)
+
+let test_greedy_slower_with_both () =
+  (* the paper's point: greedy index use misses the optimal plan *)
+  let cat = OC.catalog_with_indexes () in
+  let optimal = Cost.total (Opt.cost (Opt.optimize cat Q.q4)) in
+  let greedy = Helpers.total_cost (greedy_exn cat Q.q4) in
+  Alcotest.(check bool) "greedy > 5x optimal" true (greedy > 5.0 *. optimal)
+
+let test_greedy_matches_table3_pattern () =
+  (* without the name index, greedy coincides with the cost-based plan *)
+  let check ixs =
+    let cat = OC.catalog () in
+    List.iter (Catalog.add_index cat) ixs;
+    let optimal = Cost.total (Opt.cost (Opt.optimize cat Q.q4)) in
+    let greedy = Helpers.total_cost (greedy_exn cat Q.q4) in
+    Alcotest.(check (float 1e-6)) "same cost" optimal greedy
+  in
+  check [];
+  check [ OC.idx_tasks_time ]
+
+let test_greedy_same_results () =
+  let db = Lazy.force Helpers.small_db in
+  let cat = Oodb_exec.Db.catalog db in
+  List.iter
+    (fun name ->
+      let q = List.assoc name Q.all in
+      let greedy = greedy_exn cat q in
+      let full = Opt.plan_exn (Opt.optimize cat q) in
+      Helpers.check_same_rows name (Helpers.run_rows db full) (Helpers.run_rows db greedy))
+    [ "q1"; "q2"; "q3"; "q4" ]
+
+let test_greedy_rejects_unsupported () =
+  let cat = OC.catalog () in
+  let two_ranges =
+    Logical.join []
+      (Logical.get ~coll:"Cities" ~binding:"c")
+      (Logical.get ~coll:"Countries" ~binding:"n")
+  in
+  match Greedy.optimize cat two_ranges with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "greedy should reject multi-collection queries"
+
+let test_greedy_q2_uses_path_index () =
+  let cat = OC.catalog_with_indexes () in
+  let p = greedy_exn cat Q.q2 in
+  match Helpers.algs p with
+  | Physical.Assembly _ :: Physical.Index_scan { index = "cities_mayor_name"; _ } :: _
+  | Physical.Index_scan { index = "cities_mayor_name"; _ } :: _ -> ()
+  | _ -> Alcotest.failf "greedy should probe the path index, got %s" (String.concat "," (Helpers.shape p))
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "naive",
+        [ Alcotest.test_case "pointer-chasing shape" `Quick test_naive_shape_q1;
+          Alcotest.test_case "never beats the optimizer" `Quick test_naive_never_beats_optimizer;
+          Alcotest.test_case "same results as optimizer" `Quick test_naive_executes_same_results
+        ] );
+      ( "greedy",
+        [ Alcotest.test_case "figure 13 shape" `Quick test_greedy_fig13_shape;
+          Alcotest.test_case "uses every index" `Quick test_greedy_uses_both_indexes;
+          Alcotest.test_case "slower with both indexes" `Quick test_greedy_slower_with_both;
+          Alcotest.test_case "table 3 pattern" `Quick test_greedy_matches_table3_pattern;
+          Alcotest.test_case "same results as optimizer" `Quick test_greedy_same_results;
+          Alcotest.test_case "rejects unsupported shapes" `Quick test_greedy_rejects_unsupported;
+          Alcotest.test_case "query 2 via path index" `Quick test_greedy_q2_uses_path_index ] )
+    ]

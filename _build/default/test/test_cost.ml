@@ -1,0 +1,202 @@
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Config = Oodb_cost.Config
+module Cost = Oodb_cost.Cost
+module Lprops = Oodb_cost.Lprops
+module Selectivity = Oodb_cost.Selectivity
+module Estimator = Oodb_cost.Estimator
+module Catalog = Oodb_catalog.Catalog
+module OC = Oodb_catalog.Open_oodb_catalog
+module Q = Oodb_workloads.Queries
+
+let cfg = Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                               *)
+
+let test_assembly_io_window () =
+  let w1 = Config.assembly_io cfg ~window:1 in
+  let w16 = Config.assembly_io cfg ~window:16 in
+  let w256 = Config.assembly_io cfg ~window:256 in
+  Alcotest.(check (float 1e-9)) "window 1 = random" cfg.Config.rand_io w1;
+  Alcotest.(check bool) "monotone" true (w1 > w16 && w16 > w256);
+  Alcotest.(check bool) "floor" true (w256 >= cfg.Config.asm_io_floor)
+
+let test_pages () =
+  Alcotest.(check (float 1e-9)) "one page minimum" 1.0 (Config.pages cfg ~bytes:1.0);
+  Alcotest.(check (float 1e-9)) "rounding up" 2.0 (Config.pages cfg ~bytes:4097.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cost ADT                                                             *)
+
+let test_cost_arith () =
+  let a = Cost.make ~io:1.0 ~cpu:2.0 and b = Cost.make ~io:3.0 ~cpu:4.0 in
+  Alcotest.(check (float 1e-9)) "total" 3.0 (Cost.total a);
+  Alcotest.(check (float 1e-9)) "add" 10.0 (Cost.total (Cost.add a b));
+  Alcotest.(check (float 1e-9)) "sum" 13.0 (Cost.total (Cost.sum [ a; b; a ]));
+  Alcotest.(check bool) "compare" true (Cost.compare a b < 0);
+  Alcotest.(check bool) "le" true Cost.(a <= b);
+  Alcotest.(check bool) "infinite" false (Cost.is_finite Cost.infinite);
+  Alcotest.(check (float 1e-9)) "sub for limits" 4.0 (Cost.total (Cost.sub b a))
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity                                                          *)
+
+let env_of cat expr = Estimator.derive_expr cfg cat expr
+
+let test_selectivity_tiers () =
+  let cat = OC.catalog_with_indexes () in
+  let base = Logical.mat ~src:"c" ~field:"mayor" (Logical.get ~coll:"Cities" ~binding:"c") in
+  let env = env_of cat base in
+  (* tier 1: the mayor.name path index (5000 distinct keys) *)
+  let a = Pred.atom Pred.Eq (Pred.Field ("c.mayor", "name")) (Pred.Const (Value.Str "Joe")) in
+  Alcotest.(check (float 1e-9)) "index-assisted" (1.0 /. 5000.0) (Selectivity.atom cfg cat ~env a);
+  (* tier 2: class statistic for Person.age (80 distinct) *)
+  let b = Pred.atom Pred.Eq (Pred.Field ("c.mayor", "age")) (Pred.Const (Value.Int 41)) in
+  Alcotest.(check (float 1e-9)) "statistic" (1.0 /. 80.0) (Selectivity.atom cfg cat ~env b);
+  (* tier 3: the 10% default *)
+  let c = Pred.atom Pred.Eq (Pred.Field ("c", "population")) (Pred.Const (Value.Int 7)) in
+  Alcotest.(check (float 1e-9)) "default" 0.10 (Selectivity.atom cfg cat ~env c);
+  (* ranges *)
+  let d = Pred.atom Pred.Ge (Pred.Field ("c.mayor", "age")) (Pred.Const (Value.Int 30)) in
+  Alcotest.(check (float 1e-9)) "range" cfg.Config.range_selectivity
+    (Selectivity.atom cfg cat ~env d)
+
+let test_selectivity_no_index_falls_back () =
+  let cat = OC.catalog () in
+  let base = Logical.mat ~src:"c" ~field:"mayor" (Logical.get ~coll:"Cities" ~binding:"c") in
+  let env = env_of cat base in
+  let a = Pred.atom Pred.Eq (Pred.Field ("c.mayor", "name")) (Pred.Const (Value.Str "Joe")) in
+  (* without the path index, the Person.name class statistic applies *)
+  Alcotest.(check (float 1e-9)) "stat fallback" (1.0 /. 5000.0) (Selectivity.atom cfg cat ~env a)
+
+let test_selectivity_ref_eq () =
+  let cat = OC.catalog () in
+  let base =
+    Logical.join []
+      (Logical.get ~coll:"Employees" ~binding:"e")
+      (Logical.get ~coll:"Departments" ~binding:"d")
+  in
+  let env = env_of cat base in
+  let a = Pred.atom Pred.Eq (Pred.Field ("e", "dept")) (Pred.Self "d") in
+  Alcotest.(check (float 1e-9)) "1/|Department|" (1.0 /. 1000.0) (Selectivity.atom cfg cat ~env a)
+
+let test_selectivity_conjunction () =
+  let cat = OC.catalog () in
+  let env = env_of cat (Logical.get ~coll:"Cities" ~binding:"c") in
+  let a = Pred.atom Pred.Eq (Pred.Field ("c", "population")) (Pred.Const (Value.Int 7)) in
+  Alcotest.(check (float 1e-9)) "independence" 0.01 (Selectivity.pred cfg cat ~env [ a; a ])
+
+(* ------------------------------------------------------------------ *)
+(* Estimator (logical property derivation)                              *)
+
+let test_estimator_q2_chain () =
+  let cat = OC.catalog_with_indexes () in
+  let lp = env_of cat Q.q2 in
+  (* 10,000 cities, mayor-name index with 5,000 keys: 2 qualifying *)
+  Alcotest.(check (float 0.001)) "2 cities" 2.0 lp.Lprops.card;
+  Alcotest.(check (list string)) "scope" [ "c"; "c.mayor" ] (List.map fst lp.Lprops.bindings)
+
+let test_estimator_q1_cards () =
+  let cat = OC.catalog_with_indexes () in
+  let lp = env_of cat Q.q1 in
+  (* 50,000 employees x 10% Dallas selectivity *)
+  Alcotest.(check (float 0.001)) "5000 rows" 5000.0 lp.Lprops.card
+
+let test_estimator_unnest () =
+  let cat = OC.catalog_with_indexes () in
+  let lp = env_of cat Q.fig3 in
+  (* 10,000 tasks x 9 team members *)
+  Alcotest.(check (float 0.001)) "90000 pairs" 90000.0 lp.Lprops.card;
+  Alcotest.(check (option string)) "m class" (Some "Employee") (Lprops.class_of lp "m");
+  Alcotest.(check (option string)) "e class" (Some "Employee") (Lprops.class_of lp "e")
+
+let test_estimator_setops () =
+  let cat = OC.catalog () in
+  let g b = Logical.get ~coll:"Cities" ~binding:b in
+  let union = env_of cat (Logical.union (g "c") (g "c")) in
+  Alcotest.(check (float 0.001)) "union adds" 20000.0 union.Lprops.card;
+  let inter = env_of cat (Logical.intersect (g "c") (g "c")) in
+  Alcotest.(check (float 0.001)) "intersect min" 10000.0 inter.Lprops.card
+
+let test_provenance () =
+  let cat = OC.catalog () in
+  let base =
+    Logical.mat ~src:"c.country" ~field:"president"
+      (Logical.mat ~src:"c" ~field:"country" (Logical.get ~coll:"Cities" ~binding:"c"))
+  in
+  let lp = env_of cat base in
+  Alcotest.(check bool) "chain provenance" true
+    (Lprops.provenance lp "c.country.president" = Some ("Cities", [ "country"; "president" ]));
+  Alcotest.(check bool) "root provenance" true (Lprops.provenance lp "c" = Some ("Cities", []));
+  (* unnest breaks index provenance *)
+  let lp4 = env_of cat Q.fig3 in
+  Alcotest.(check bool) "unnest breaks provenance" true (Lprops.provenance lp4 "e" = None)
+
+let test_row_bytes () =
+  let cat = OC.catalog () in
+  let lp =
+    env_of cat (Logical.mat ~src:"c" ~field:"mayor" (Logical.get ~coll:"Cities" ~binding:"c"))
+  in
+  (* City 200 + Person 100 *)
+  Alcotest.(check (float 0.001)) "row bytes" 300.0 (Lprops.row_bytes lp);
+  Alcotest.(check (float 0.001)) "subset" 100.0 (Lprops.bytes_of lp [ "c.mayor" ])
+
+let test_estimator_errors () =
+  let cat = OC.catalog () in
+  Alcotest.(check bool) "bad collection raises" true
+    (try
+       ignore (Estimator.derive cfg cat (Logical.Get { coll = "Nope"; binding = "x" }) []);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+
+let prop_selectivity_bounded =
+  QCheck2.Test.make ~name:"selectivity within (0, 1]" ~count:200
+    QCheck2.Gen.(pair (oneofl [ "name"; "age"; "population" ]) small_signed_int)
+    (fun (field, v) ->
+      let cat = OC.catalog_with_indexes () in
+      let env =
+        Estimator.derive_expr cfg cat
+          (Logical.mat ~src:"c" ~field:"mayor" (Logical.get ~coll:"Cities" ~binding:"c"))
+      in
+      let binding = if field = "population" then "c" else "c.mayor" in
+      let a = Pred.atom Pred.Eq (Pred.Field (binding, field)) (Pred.Const (Value.Int v)) in
+      let s = Selectivity.atom cfg cat ~env a in
+      s > 0.0 && s <= 1.0)
+
+let prop_cards_non_negative =
+  QCheck2.Test.make ~name:"derived cardinality non-negative" ~count:100
+    QCheck2.Gen.(int_bound 4)
+    (fun n ->
+      let cat = OC.catalog_with_indexes () in
+      let _, q =
+        List.nth Oodb_workloads.Queries.all (n mod List.length Oodb_workloads.Queries.all)
+      in
+      (Estimator.derive_expr cfg cat q).Lprops.card >= 0.0)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cost"
+    [ ( "config",
+        [ Alcotest.test_case "assembly window economics" `Quick test_assembly_io_window;
+          Alcotest.test_case "page arithmetic" `Quick test_pages ] );
+      ("cost", [ Alcotest.test_case "arithmetic and comparison" `Quick test_cost_arith ]);
+      ( "selectivity",
+        [ Alcotest.test_case "index > statistic > default" `Quick test_selectivity_tiers;
+          Alcotest.test_case "fallback without index" `Quick test_selectivity_no_index_falls_back;
+          Alcotest.test_case "reference equality" `Quick test_selectivity_ref_eq;
+          Alcotest.test_case "conjunction independence" `Quick test_selectivity_conjunction ] );
+      ( "estimator",
+        [ Alcotest.test_case "query 2 chain" `Quick test_estimator_q2_chain;
+          Alcotest.test_case "query 1 cardinality" `Quick test_estimator_q1_cards;
+          Alcotest.test_case "unnest fan-out" `Quick test_estimator_unnest;
+          Alcotest.test_case "set operators" `Quick test_estimator_setops;
+          Alcotest.test_case "provenance chasing" `Quick test_provenance;
+          Alcotest.test_case "row bytes" `Quick test_row_bytes;
+          Alcotest.test_case "errors" `Quick test_estimator_errors ] );
+      ("properties", qcheck [ prop_selectivity_bounded; prop_cards_non_negative ]) ]

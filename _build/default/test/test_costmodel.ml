@@ -1,0 +1,109 @@
+(* Direct unit tests of the per-algorithm cost formulas. *)
+
+module Config = Oodb_cost.Config
+module Cost = Oodb_cost.Cost
+module Catalog = Oodb_catalog.Catalog
+module OC = Oodb_catalog.Open_oodb_catalog
+module Costmodel = Open_oodb.Costmodel
+
+let cfg = Config.default
+
+let cat = OC.catalog ()
+
+let co name = Option.get (Catalog.find_collection cat name)
+
+let total = Cost.total
+
+let test_file_scan () =
+  (* Employees: 50,000 x 250 B = 3,052 pages sequential + per-tuple CPU *)
+  let c = Costmodel.file_scan cfg (co "Employees") in
+  Alcotest.(check (float 0.5)) "io" (3052.0 *. cfg.Config.seq_io) c.Cost.io;
+  Alcotest.(check (float 1e-6)) "cpu" (50_000.0 *. cfg.Config.cpu_tuple) c.Cost.cpu
+
+let test_btree_height () =
+  Alcotest.(check int) "small index" 1 (Costmodel.btree_height cfg ~entries:100.0);
+  Alcotest.(check int) "cities" 2 (Costmodel.btree_height cfg ~entries:10_000.0);
+  Alcotest.(check bool) "monotone" true
+    (Costmodel.btree_height cfg ~entries:1e7 >= Costmodel.btree_height cfg ~entries:1e4)
+
+let test_index_scan_matches () =
+  let cheap = Costmodel.index_scan cfg ~coll:(co "Cities") ~matches:2.0 ~residual_atoms:0 in
+  let pricey = Costmodel.index_scan cfg ~coll:(co "Cities") ~matches:500.0 ~residual_atoms:0 in
+  Alcotest.(check bool) "more matches cost more" true (total cheap < total pricey);
+  (* Query 2's lookup: 2 descent reads + 2 fetches at 30 ms *)
+  Alcotest.(check (float 0.01)) "q2 magnitude" 0.12 (total cheap)
+
+let test_hash_join_spill () =
+  let fits =
+    Costmodel.hash_join cfg ~build_card:100.0 ~build_bytes:1e5 ~probe_card:1000.0
+      ~probe_bytes:1e5 ~out_card:100.0 ~atoms:0
+  in
+  let spills =
+    Costmodel.hash_join cfg ~build_card:100.0 ~build_bytes:1e8 ~probe_card:1000.0
+      ~probe_bytes:1e5 ~out_card:100.0 ~atoms:0
+  in
+  Alcotest.(check (float 1e-9)) "in-memory join has no io" 0.0 fits.Cost.io;
+  Alcotest.(check bool) "spill charges io" true (spills.Cost.io > 0.0)
+
+let test_assembly_bounds () =
+  (* departments have a known extent of 1,000: fetches are capped *)
+  Alcotest.(check (float 1e-6)) "extent bound" 1_000.0
+    (Costmodel.deref_fetches cat ~target_cls:"Department" ~stream_card:50_000.0);
+  (* Plant has no extent: one fetch per reference *)
+  Alcotest.(check (float 1e-6)) "no bound" 50_000.0
+    (Costmodel.deref_fetches cat ~target_cls:"Plant" ~stream_card:50_000.0);
+  let w1 = Costmodel.assembly cfg cat ~window:1 ~stream_card:1000.0 ~targets:[ "Plant" ] in
+  let w64 = Costmodel.assembly cfg cat ~window:64 ~stream_card:1000.0 ~targets:[ "Plant" ] in
+  Alcotest.(check bool) "window helps" true (total w64 < total w1)
+
+let test_warm_assembly () =
+  let warm = Costmodel.warm_assembly cfg cat ~target_coll:(co "Jobs") ~stream_card:50_000.0 in
+  let cold = Costmodel.assembly cfg cat ~window:16 ~stream_card:50_000.0 ~targets:[ "Job" ] in
+  (* warm start pays one sequential scan of Jobs instead of 5,000 fetches *)
+  Alcotest.(check bool) "warm cheaper for hot targets" true (total warm < total cold)
+
+let test_merge_join_linear () =
+  let small = Costmodel.merge_join cfg ~left_card:10.0 ~right_card:10.0 ~out_card:10.0 ~atoms:0 in
+  let big =
+    Costmodel.merge_join cfg ~left_card:10_000.0 ~right_card:10_000.0 ~out_card:10.0 ~atoms:0
+  in
+  Alcotest.(check bool) "linear in inputs" true
+    (total big > 100.0 *. total small && total big < 10_000.0 *. total small);
+  Alcotest.(check (float 1e-9)) "no io" 0.0 big.Cost.io
+
+let test_pointer_join () =
+  let c = Costmodel.pointer_join cfg cat ~target_cls:"Department" ~stream_card:50_000.0 ~atoms:1 in
+  (* bounded by the department extent, at the random rate *)
+  Alcotest.(check (float 1e-6)) "io" (1_000.0 *. cfg.Config.rand_io) c.Cost.io
+
+let test_sort_spills () =
+  let fits = Costmodel.sort cfg ~card:100.0 ~row_bytes:100.0 in
+  let spills = Costmodel.sort cfg ~card:1e6 ~row_bytes:100.0 in
+  Alcotest.(check (float 1e-9)) "in-memory sort" 0.0 fits.Cost.io;
+  Alcotest.(check bool) "external sort charges io" true (spills.Cost.io > 0.0);
+  Alcotest.(check bool) "n log n" true (spills.Cost.cpu > 1e4 *. fits.Cost.cpu)
+
+let test_all_costs_non_negative () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "non-negative" true (Cost.total c >= 0.0))
+    [ Costmodel.file_scan cfg (co "Capitals");
+      Costmodel.filter cfg ~card:0.0 ~atoms:0;
+      Costmodel.alg_project cfg ~card:0.0;
+      Costmodel.alg_unnest cfg ~in_card:0.0 ~out_card:0.0;
+      Costmodel.hash_setop cfg ~left_card:0.0 ~right_card:0.0 ~out_card:0.0;
+      Costmodel.assembly cfg cat ~window:1 ~stream_card:0.0 ~targets:[] ]
+
+let () =
+  Alcotest.run "costmodel"
+    [ ( "formulas",
+        [ Alcotest.test_case "file scan" `Quick test_file_scan;
+          Alcotest.test_case "btree height" `Quick test_btree_height;
+          Alcotest.test_case "index scan" `Quick test_index_scan_matches;
+          Alcotest.test_case "hash join spill" `Quick test_hash_join_spill;
+          Alcotest.test_case "assembly extent bound" `Quick test_assembly_bounds;
+          Alcotest.test_case "warm assembly" `Quick test_warm_assembly;
+          Alcotest.test_case "merge join" `Quick test_merge_join_linear;
+          Alcotest.test_case "pointer join" `Quick test_pointer_join;
+          Alcotest.test_case "sort" `Quick test_sort_spills;
+          Alcotest.test_case "non-negativity" `Quick test_all_costs_non_negative ] ) ]

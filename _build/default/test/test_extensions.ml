@@ -1,0 +1,252 @@
+(* Tests for the features beyond the paper's implementation: merge join
+   with the sort-order property, the Lesson-7 warm-start assembly, and
+   the Lesson-9 argument-transformation pass. *)
+
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Cost = Oodb_cost.Cost
+module OC = Oodb_catalog.Open_oodb_catalog
+module Q = Oodb_workloads.Queries
+module Opt = Open_oodb.Optimizer
+module Options = Open_oodb.Options
+module Physical = Open_oodb.Physical
+module Physprop = Open_oodb.Physprop
+module Argtrans = Open_oodb.Argtrans
+module Engine = Open_oodb.Model.Engine
+module Db = Oodb_exec.Db
+
+let db = Lazy.force Helpers.small_db
+
+let cat = Db.catalog db
+
+(* a single-link query joining tasks' members with Employees *)
+let member_query =
+  Logical.get ~coll:"Tasks" ~binding:"t"
+  |> Logical.unnest ~out:"m" ~src:"t" ~field:"team_members"
+  |> Logical.mat_ref ~out:"e" ~src:"m"
+  |> Logical.select [ Pred.atom Pred.Ge (Pred.Field ("e", "age")) (Pred.Const (Value.Int 40)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Merge join                                                           *)
+
+let force_merge_join =
+  (* remove the competing join implementations *)
+  List.fold_left (fun o r -> Options.disable r o) Options.default
+    [ "hash-join"; "pointer-join"; "mat-assembly" ]
+
+let test_merge_join_plan () =
+  let p = Opt.plan_exn (Opt.optimize ~options:force_merge_join cat member_query) in
+  Alcotest.(check bool) "uses merge join" true
+    (List.mem "merge-join" (Helpers.shape p));
+  (* at least one side gets sorted by the enforcer; the Employees side
+     may come pre-sorted by identity straight from the file scan *)
+  Alcotest.(check bool) "sorted inputs" true
+    (List.mem "sort" (Helpers.shape p)
+    || List.mem "file-scan" (Helpers.shape p))
+
+let test_merge_join_results () =
+  let merge = Opt.plan_exn (Opt.optimize ~options:force_merge_join cat member_query) in
+  let hash = Opt.plan_exn (Opt.optimize cat member_query) in
+  Helpers.check_same_rows "merge == hash results" (Helpers.run_rows db hash)
+    (Helpers.run_rows db merge)
+
+let test_scan_delivers_identity_order () =
+  (* requesting identity order on a plain scan needs no sort *)
+  let q = Logical.get ~coll:"Countries" ~binding:"n" in
+  let required =
+    { Physprop.empty with
+      Physprop.order = Some { Physprop.ord_binding = "n"; ord_field = None } }
+  in
+  let p = Opt.plan_exn (Opt.optimize ~required cat q) in
+  Helpers.check_shape "no sort needed" [ "file-scan" ] p
+
+let test_field_order_needs_sort () =
+  let q = Logical.get ~coll:"Countries" ~binding:"n" in
+  let required =
+    { Physprop.empty with
+      Physprop.order = Some { Physprop.ord_binding = "n"; ord_field = Some "name" } }
+  in
+  let p = Opt.plan_exn (Opt.optimize ~required cat q) in
+  Helpers.check_shape "sort enforcer" [ "sort"; "file-scan" ] p;
+  (* and the executed output really is sorted *)
+  let rows = Helpers.run_rows db p in
+  Alcotest.(check bool) "non-trivial" true (List.length rows > 2)
+
+let test_merge_join_duplicates () =
+  (* many employees share a department: duplicate keys on the probe side *)
+  let q =
+    Logical.join
+      [ Pred.atom Pred.Eq (Pred.Field ("e", "dept")) (Pred.Self "d") ]
+      (Logical.get ~coll:"Employees" ~binding:"e")
+      (Logical.get ~coll:"Departments" ~binding:"d")
+  in
+  let merge =
+    Opt.plan_exn
+      (Opt.optimize
+         ~options:(List.fold_left (fun o r -> Options.disable r o) Options.default
+                     [ "hash-join"; "pointer-join" ])
+         cat q)
+  in
+  let hash = Opt.plan_exn (Opt.optimize cat q) in
+  Helpers.check_same_rows "duplicate-key merge" (Helpers.run_rows db hash)
+    (Helpers.run_rows db merge)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start assembly (Lesson 7)                                       *)
+
+let test_warm_assembly_opt_in () =
+  Alcotest.(check bool) "disabled by default" true
+    (List.mem "warm-assembly" Options.default.Options.disabled);
+  let on = Options.with_warm_start Options.default in
+  Alcotest.(check bool) "enabled" false (List.mem "warm-assembly" on.Options.disabled)
+
+let test_warm_assembly_improves_q1 () =
+  let base = Cost.total (Opt.cost (Opt.optimize cat Q.q1)) in
+  let warm =
+    Cost.total (Opt.cost (Opt.optimize ~options:(Options.with_warm_start Options.default) cat Q.q1))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm start at least as good (%.1f vs %.1f)" warm base)
+    true (warm <= base +. 1e-9)
+
+let test_warm_assembly_results () =
+  let options = Options.with_warm_start Options.default in
+  let warm = Opt.plan_exn (Opt.optimize ~options cat Q.q1) in
+  let base = Opt.plan_exn (Opt.optimize cat Q.q1) in
+  Helpers.check_same_rows "warm == base results" (Helpers.run_rows db base)
+    (Helpers.run_rows db warm)
+
+let test_warm_assembly_in_plan () =
+  (* force it: drop the join routes so the mat resolution must assemble *)
+  let options =
+    List.fold_left (fun o r -> Options.disable r o)
+      (Options.with_warm_start Options.default)
+      [ "mat-to-join"; "mat-assembly" ]
+  in
+  let q =
+    Logical.get ~coll:"Employees" ~binding:"e" |> Logical.mat ~src:"e" ~field:"dept"
+  in
+  let p = Opt.plan_exn (Opt.optimize ~options cat q) in
+  let warm_used =
+    List.exists
+      (function Physical.Assembly { warm = Some _; _ } -> true | _ -> false)
+      (Helpers.algs p)
+  in
+  Alcotest.(check bool) "warm-start assembly used" true warm_used;
+  let rows = Helpers.run_rows db p in
+  Alcotest.(check int) "all employees" (List.length (Helpers.run_rows db (Opt.plan_exn (Opt.optimize cat q))))
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Argument transformations (Lesson 9)                                  *)
+
+let test_argtrans_atoms () =
+  let check label expected a =
+    Alcotest.(check bool) label true (Argtrans.atom a = expected)
+  in
+  check "const fold true" `True (Pred.atom Pred.Lt (Pred.Const (Value.Int 1)) (Pred.Const (Value.Int 2)));
+  check "const fold false" `False (Pred.atom Pred.Gt (Pred.Const (Value.Int 1)) (Pred.Const (Value.Int 2)));
+  check "tautology" `True (Pred.atom Pred.Eq (Pred.Self "x") (Pred.Self "x"));
+  check "anti-tautology" `False (Pred.atom Pred.Lt (Pred.Field ("x", "a")) (Pred.Field ("x", "a")));
+  (* constant moves right with a flipped comparison *)
+  match Argtrans.atom (Pred.atom Pred.Lt (Pred.Const (Value.Int 5)) (Pred.Field ("x", "a"))) with
+  | `Keep a ->
+    Alcotest.(check bool) "canonicalized" true
+      (a = Pred.atom Pred.Gt (Pred.Field ("x", "a")) (Pred.Const (Value.Int 5)))
+  | _ -> Alcotest.fail "expected Keep"
+
+let test_argtrans_pred () =
+  let f = Pred.Field ("x", "a") in
+  let eq v = Pred.atom Pred.Eq f (Pred.Const (Value.Int v)) in
+  (match Argtrans.pred [ eq 1; eq 1 ] with
+  | `Pred [ _ ] -> ()
+  | _ -> Alcotest.fail "duplicates collapse");
+  (match Argtrans.pred [ eq 1; eq 2 ] with
+  | `Contradiction -> ()
+  | _ -> Alcotest.fail "x==1 && x==2 is unsatisfiable");
+  match Argtrans.pred [ Pred.atom Pred.Eq (Pred.Const (Value.Int 1)) (Pred.Const (Value.Int 1)) ] with
+  | `Pred [] -> ()
+  | _ -> Alcotest.fail "constant truth drops out"
+
+let test_argtrans_expr_contradiction_executes_empty () =
+  let q =
+    Logical.get ~coll:"Cities" ~binding:"c"
+    |> Logical.select
+         [ Pred.atom Pred.Eq (Pred.Field ("c", "population")) (Pred.Const (Value.Int 1));
+           Pred.atom Pred.Eq (Pred.Field ("c", "population")) (Pred.Const (Value.Int 2)) ]
+  in
+  let p = Opt.plan_exn (Opt.optimize cat q) in
+  Alcotest.(check int) "empty result" 0 (List.length (Helpers.run_rows db p))
+
+let test_argtrans_dedup_matches_unnormalized_results () =
+  let q =
+    Logical.get ~coll:"Cities" ~binding:"c"
+    |> Logical.select
+         [ Pred.atom Pred.Ge (Pred.Field ("c", "population")) (Pred.Const (Value.Int 5000));
+           Pred.atom Pred.Ge (Pred.Field ("c", "population")) (Pred.Const (Value.Int 5000)) ]
+  in
+  let normalized = Opt.plan_exn (Opt.optimize cat q) in
+  let raw =
+    Opt.plan_exn (Opt.optimize ~options:{ Options.default with Options.normalize = false } cat q)
+  in
+  Helpers.check_same_rows "same rows" (Helpers.run_rows db raw) (Helpers.run_rows db normalized)
+
+let test_argtrans_preserves_paper_queries () =
+  List.iter
+    (fun (name, q) ->
+      Alcotest.(check bool) (name ^ " unchanged") true (Logical.equal (Argtrans.expr q) q))
+    Q.all
+
+(* qcheck: normalization is semantics-preserving on random conjunctions
+   of city predicates *)
+let atom_pool k =
+  let f name = Pred.Field ("c", name) in
+  [| Pred.atom Pred.Ge (f "population") (Pred.Const (Value.Int (k * 500)));
+     Pred.atom Pred.Eq (f "population") (Pred.Const (Value.Int (k * 1000)));
+     Pred.atom Pred.Eq (Pred.Const (Value.Int k)) (Pred.Const (Value.Int 7));
+     Pred.atom Pred.Ne (f "name") (f "name");
+     Pred.atom Pred.Le (f "population") (f "population");
+     Pred.atom Pred.Eq (Pred.Const (Value.Int 3)) (f "population") |]
+
+let prop_argtrans_sound =
+  QCheck2.Test.make ~name:"normalization preserves results" ~count:60
+    QCheck2.Gen.(list_size (int_bound 4) (pair (int_bound 5) (int_bound 9)))
+    (fun picks ->
+      let atoms = List.map (fun (i, k) -> (atom_pool k).(i)) picks in
+      let q = Logical.select atoms (Logical.get ~coll:"Cities" ~binding:"c") in
+      match Logical.well_formed cat q with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let normalized = Opt.plan_exn (Opt.optimize cat q) in
+        let raw =
+          Opt.plan_exn
+            (Opt.optimize ~options:{ Options.default with Options.normalize = false } cat q)
+        in
+        Helpers.canon_rows (Helpers.run_rows db raw)
+        = Helpers.canon_rows (Helpers.run_rows db normalized))
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "merge-join",
+        [ Alcotest.test_case "plan uses merge join" `Quick test_merge_join_plan;
+          Alcotest.test_case "same results as hash join" `Quick test_merge_join_results;
+          Alcotest.test_case "scan delivers identity order" `Quick
+            test_scan_delivers_identity_order;
+          Alcotest.test_case "field order needs a sort" `Quick test_field_order_needs_sort;
+          Alcotest.test_case "duplicate keys" `Quick test_merge_join_duplicates ] );
+      ( "warm-assembly",
+        [ Alcotest.test_case "opt-in" `Quick test_warm_assembly_opt_in;
+          Alcotest.test_case "never worse on Q1" `Quick test_warm_assembly_improves_q1;
+          Alcotest.test_case "same results" `Quick test_warm_assembly_results;
+          Alcotest.test_case "appears in plans" `Quick test_warm_assembly_in_plan ] );
+      ( "argtrans",
+        [ Alcotest.test_case "atom normalization" `Quick test_argtrans_atoms;
+          Alcotest.test_case "conjunction normalization" `Quick test_argtrans_pred;
+          Alcotest.test_case "contradictions execute empty" `Quick
+            test_argtrans_expr_contradiction_executes_empty;
+          Alcotest.test_case "dedup preserves results" `Quick
+            test_argtrans_dedup_matches_unnormalized_results;
+          Alcotest.test_case "paper queries unchanged" `Quick
+            test_argtrans_preserves_paper_queries;
+          QCheck_alcotest.to_alcotest prop_argtrans_sound ] ) ]

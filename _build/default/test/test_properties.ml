@@ -1,0 +1,222 @@
+(* Whole-system property tests: randomized queries over the generated
+   schema, executed through every optimizer configuration, must agree. *)
+
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Cost = Oodb_cost.Cost
+module Db = Oodb_exec.Db
+module Opt = Open_oodb.Optimizer
+module Options = Open_oodb.Options
+module Naive = Oodb_baselines.Naive
+module Greedy = Oodb_baselines.Greedy
+
+let db = Lazy.force Helpers.small_db
+
+let cat = Db.catalog db
+
+(* ------------------------------------------------------------------ *)
+(* Random query generator over the paper's schema                       *)
+
+(* A pipeline description: a base range plus optional links and
+   predicates, assembled into a well-formed logical query. *)
+
+type base = B_cities | B_employees | B_tasks
+
+type genq = {
+  g_base : base;
+  g_links : int; (* how many Mat links to add, 0-2 *)
+  g_preds : (int * int) list; (* (predicate picker, constant picker) *)
+  g_project : bool;
+}
+
+let gen_query =
+  let open QCheck2.Gen in
+  let* g_base = oneofl [ B_cities; B_employees; B_tasks ] in
+  let* g_links = int_bound 2 in
+  let* g_preds = list_size (int_bound 3) (pair (int_bound 5) (int_bound 30)) in
+  let* g_project = bool in
+  return { g_base; g_links; g_preds; g_project }
+
+(* Build the logical query; returns the expression and the atoms it could
+   use (choice driven by the generator's integers). *)
+let build q =
+  let str s = Pred.Const (Value.Str s) in
+  let num i = Pred.Const (Value.Int i) in
+  let base_tree, links, preds =
+    match q.g_base with
+    | B_cities ->
+      ( Logical.get ~coll:"Cities" ~binding:"c",
+        [ ("c", "mayor"); ("c", "country") ],
+        [ (fun k -> Pred.atom Pred.Eq (Pred.Field ("c.mayor", "name")) (str (Printf.sprintf "pname_%d" k)));
+          (fun k -> Pred.atom Pred.Ge (Pred.Field ("c", "population")) (num (k * 1000)));
+          (fun k -> Pred.atom Pred.Le (Pred.Field ("c.mayor", "age")) (num (20 + k)));
+          (fun _ -> Pred.atom Pred.Eq (Pred.Field ("c.mayor", "name")) (str "Joe"));
+          (fun k -> Pred.atom Pred.Ne (Pred.Field ("c", "name")) (str (Printf.sprintf "city_%d" k)));
+          (fun k -> Pred.atom Pred.Gt (Pred.Field ("c.country", "name")) (str (Printf.sprintf "country_%d" (k mod 4))))
+        ] )
+    | B_employees ->
+      ( Logical.get ~coll:"Employees" ~binding:"e",
+        [ ("e", "dept"); ("e", "job") ],
+        [ (fun _ -> Pred.atom Pred.Eq (Pred.Field ("e", "name")) (str "Fred"));
+          (fun k -> Pred.atom Pred.Ge (Pred.Field ("e", "age")) (num (20 + k)));
+          (fun k -> Pred.atom Pred.Eq (Pred.Field ("e.dept", "floor")) (num ((k mod 10) + 1)));
+          (fun _ -> Pred.atom Pred.Eq (Pred.Field ("e.dept.plant", "location")) (str "Dallas"));
+          (fun k -> Pred.atom Pred.Le (Pred.Field ("e", "salary")) (Pred.Const (Value.Float (20000.0 +. float_of_int (k * 2000)))));
+          (fun k -> Pred.atom Pred.Eq (Pred.Field ("e.job", "level")) (num (k mod 10))) ] )
+    | B_tasks ->
+      ( Logical.get ~coll:"Tasks" ~binding:"t",
+        [],
+        [ (fun k -> Pred.atom Pred.Eq (Pred.Field ("t", "time")) (num ((k mod 50) + 1)));
+          (fun _ -> Pred.atom Pred.Eq (Pred.Field ("e", "name")) (str "Fred"));
+          (fun k -> Pred.atom Pred.Ge (Pred.Field ("e", "age")) (num (20 + k)));
+          (fun k -> Pred.atom Pred.Le (Pred.Field ("t", "time")) (num ((k mod 50) + 1)));
+          (fun k -> Pred.atom Pred.Ne (Pred.Field ("e", "name")) (str (Printf.sprintf "ename_%d" k)));
+          (fun k -> Pred.atom Pred.Gt (Pred.Field ("t", "name")) (str (Printf.sprintf "task_%d" k))) ] )
+  in
+  (* attach links *)
+  let tree =
+    match q.g_base with
+    | B_tasks ->
+      (* tasks always get the unnest + mat pipeline so member predicates
+         are meaningful *)
+      base_tree
+      |> Logical.unnest ~out:"m" ~src:"t" ~field:"team_members"
+      |> Logical.mat_ref ~out:"e" ~src:"m"
+    | B_cities | B_employees ->
+      List.fold_left
+        (fun tree (src, field) -> Logical.mat ~src ~field tree)
+        base_tree
+        (List.filteri (fun i _ -> i < q.g_links) links)
+  in
+  (* e.dept.plant needs its own link when the Dallas predicate fires *)
+  let needs_plant =
+    q.g_base = B_employees && q.g_links >= 1
+    && List.exists (fun (p, _) -> p mod 6 = 3) q.g_preds
+  in
+  let tree =
+    if needs_plant then Logical.mat ~src:"e.dept" ~field:"plant" tree else tree
+  in
+  let scope_ok atom =
+    List.for_all (fun b -> List.mem b (Logical.scope tree)) (Pred.bindings [ atom ])
+  in
+  let atoms =
+    q.g_preds
+    |> List.map (fun (p, k) -> (List.nth preds (p mod List.length preds)) k)
+    |> List.filter scope_ok
+  in
+  let tree = if atoms = [] then tree else Logical.select atoms tree in
+  let tree =
+    if q.g_project then
+      let b = List.hd (Logical.scope tree) in
+      Logical.project [ { Logical.p_expr = Pred.Field (b, "name"); p_name = "n" } ] tree
+    else tree
+  in
+  match Logical.well_formed cat tree with
+  | Ok () -> Some tree
+  | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+let prop_optimizer_equals_naive =
+  QCheck2.Test.make ~name:"optimized plan == naive plan results" ~count:60 gen_query (fun g ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q ->
+        let full = Opt.plan_exn (Opt.optimize cat q) in
+        let naive = Opt.plan_exn (Naive.optimize cat q) in
+        Helpers.canon_rows (Helpers.run_rows db full)
+        = Helpers.canon_rows (Helpers.run_rows db naive))
+
+let prop_random_rule_subsets_sound =
+  QCheck2.Test.make ~name:"random rule subsets produce equivalent plans" ~count:40
+    QCheck2.Gen.(pair gen_query (list_size (int_bound 6) (oneofl Options.rule_names)))
+    (fun (g, disabled) ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q ->
+        let restricted =
+          List.fold_left (fun o r -> Options.disable r o) Options.default disabled
+        in
+        let full = Opt.plan_exn (Opt.optimize cat q) in
+        (* filter/scan/assembly/project/unnest must survive for a plan to
+           exist at all; the naive-compatible core is never disabled here *)
+        let core = [ "file-scan"; "filter"; "mat-assembly"; "alg-project"; "alg-unnest"; "assembly-enforcer"; "hash-setop" ] in
+        let restricted =
+          { restricted with
+            Options.disabled = List.filter (fun r -> not (List.mem r core)) restricted.Options.disabled }
+        in
+        let alt = Opt.plan_exn (Opt.optimize ~options:restricted cat q) in
+        Helpers.canon_rows (Helpers.run_rows db full)
+        = Helpers.canon_rows (Helpers.run_rows db alt))
+
+let prop_disabled_rules_never_cheaper =
+  QCheck2.Test.make ~name:"disabling rules never lowers plan cost" ~count:40
+    QCheck2.Gen.(pair gen_query (list_size (int_bound 4) (oneofl Open_oodb.Trules.names)))
+    (fun (g, disabled) ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q ->
+        let base = Cost.total (Opt.cost (Opt.optimize cat q)) in
+        let opts = List.fold_left (fun o r -> Options.disable r o) Options.default disabled in
+        let restricted = Cost.total (Opt.cost (Opt.optimize ~options:opts cat q)) in
+        restricted >= base -. 1e-9)
+
+let prop_pruning_sound =
+  QCheck2.Test.make ~name:"branch-and-bound preserves the optimum" ~count:40 gen_query
+    (fun g ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q ->
+        let on = Cost.total (Opt.cost (Opt.optimize ~options:{ Options.default with Options.pruning = true } cat q)) in
+        let off = Cost.total (Opt.cost (Opt.optimize ~options:{ Options.default with Options.pruning = false } cat q)) in
+        Float.abs (on -. off) <= 1e-6 *. Float.max 1.0 off)
+
+let prop_greedy_sound =
+  QCheck2.Test.make ~name:"greedy plans compute the same results" ~count:40 gen_query
+    (fun g ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q -> (
+        match Greedy.optimize cat q with
+        | Error _ -> QCheck2.assume_fail ()
+        | Ok greedy ->
+          let full = Opt.plan_exn (Opt.optimize cat q) in
+          Helpers.canon_rows (Helpers.run_rows db full)
+          = Helpers.canon_rows (Helpers.run_rows db greedy)))
+
+let prop_optimizer_never_worse_than_greedy =
+  QCheck2.Test.make ~name:"cost-based never estimates worse than greedy" ~count:40 gen_query
+    (fun g ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q -> (
+        match Greedy.optimize cat q with
+        | Error _ -> QCheck2.assume_fail ()
+        | Ok greedy ->
+          Cost.total (Opt.cost (Opt.optimize cat q))
+          <= Cost.total greedy.Open_oodb.Model.Engine.cost +. 1e-9))
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"optimization is deterministic" ~count:30 gen_query (fun g ->
+      match build g with
+      | None -> QCheck2.assume_fail ()
+      | Some q ->
+        let p1 = Opt.plan_exn (Opt.optimize cat q) in
+        let p2 = Opt.plan_exn (Opt.optimize cat q) in
+        Helpers.shape p1 = Helpers.shape p2
+        && Cost.total p1.Open_oodb.Model.Engine.cost = Cost.total p2.Open_oodb.Model.Engine.cost)
+
+let () =
+  Alcotest.run "properties"
+    [ ( "plan-equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_optimizer_equals_naive;
+            prop_random_rule_subsets_sound;
+            prop_greedy_sound ] );
+      ( "cost-model",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_disabled_rules_never_cheaper;
+            prop_pruning_sound;
+            prop_optimizer_never_worse_than_greedy;
+            prop_deterministic ] ) ]

@@ -1,0 +1,161 @@
+(* Tests of the logical closure: which multi-expressions the
+   transformation rules put into the memo for the paper's queries. *)
+
+module Logical = Oodb_algebra.Logical
+module Pred = Oodb_algebra.Pred
+module Value = Oodb_storage.Value
+module OC = Oodb_catalog.Open_oodb_catalog
+module Q = Oodb_workloads.Queries
+module Opt = Open_oodb.Optimizer
+module Options = Open_oodb.Options
+module Engine = Open_oodb.Model.Engine
+
+let memo_of ?(options = Options.default) cat q =
+  let o = Opt.optimize ~options cat q in
+  (o.Opt.memo, o.Opt.root, o.Opt.stats)
+
+let ops_of ctx g = List.map (fun (m : Engine.mexpr) -> m.Engine.mop) (Engine.group_exprs ctx g)
+
+let group_has ctx g pred = List.exists pred (ops_of ctx g)
+
+let rec any_group_has ctx g pred ~fuel =
+  fuel > 0
+  && (group_has ctx g pred
+     || List.exists
+          (fun (m : Engine.mexpr) ->
+            List.exists (fun g' -> any_group_has ctx g' pred ~fuel:(fuel - 1)) m.Engine.minputs)
+          (Engine.group_exprs ctx g))
+
+let is_join = function Logical.Join _ -> true | _ -> false
+
+let test_mat_to_join_fires () =
+  let cat = OC.catalog_with_indexes () in
+  let ctx, root, _ = memo_of cat Q.q2 in
+  (* the Mat c.mayor group must contain a Join against Persons *)
+  Alcotest.(check bool) "join form exists" true (any_group_has ctx root is_join ~fuel:6)
+
+let test_mat_to_join_respects_hidden () =
+  let cat = OC.catalog_with_indexes () in
+  let ctx, root, _ = memo_of cat Q.q1 in
+  (* Plant has no scannable collection: no Get of the plant heap anywhere *)
+  let scans_plant = function
+    | Logical.Get { coll = "Plant.heap"; _ } -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no plant scan" false (any_group_has ctx root scans_plant ~fuel:10)
+
+let test_mat_to_join_disabled () =
+  let cat = OC.catalog_with_indexes () in
+  let options = Options.disable "mat-to-join" Options.default in
+  let ctx, root, _ = memo_of ~options cat Q.q2 in
+  Alcotest.(check bool) "no join form" false (any_group_has ctx root is_join ~fuel:6)
+
+let test_select_pushdown () =
+  let cat = OC.catalog_with_indexes () in
+  let ctx, root, _ = memo_of cat Q.q4 in
+  (* t.time == 100 must be pushable below the unnest, onto Get Tasks *)
+  let pushed = function
+    | Logical.Select p -> (
+      match Pred.bindings p with [ "t" ] -> true | _ -> false)
+    | _ -> false
+  in
+  Alcotest.(check bool) "time predicate pushed to tasks" true
+    (any_group_has ctx root pushed ~fuel:8)
+
+let test_join_commutativity_closure () =
+  let cat = OC.catalog_with_indexes () in
+  let all = memo_of cat Q.q2 in
+  let without =
+    memo_of ~options:(Options.without_join_commutativity Options.default) cat Q.q2
+  in
+  let _, _, s_all = all and _, _, s_wo = without in
+  Alcotest.(check bool) "commutativity enlarges the memo" true
+    (s_all.Engine.mexprs > s_wo.Engine.mexprs)
+
+let test_closure_terminates_fig2 () =
+  let cat = OC.catalog_with_indexes () in
+  let _, _, stats = memo_of cat Q.fig2 in
+  Alcotest.(check bool) "finite memo" true (stats.Engine.mexprs < 2_000);
+  Alcotest.(check bool) "substantial exploration" true (stats.Engine.mexprs > 20)
+
+let test_mat_commute_generates_orders () =
+  let cat = OC.catalog () in
+  (* two independent mats over cities: both orders must appear *)
+  let q =
+    Logical.get ~coll:"Cities" ~binding:"c"
+    |> Logical.mat ~src:"c" ~field:"mayor"
+    |> Logical.mat ~src:"c" ~field:"country"
+  in
+  let ctx, root, _ = memo_of cat q in
+  let mat_of field = function
+    | Logical.Mat { field = Some f; _ } -> f = field
+    | _ -> false
+  in
+  Alcotest.(check bool) "country on top" true (group_has ctx root (mat_of "country"));
+  Alcotest.(check bool) "mayor on top too" true (group_has ctx root (mat_of "mayor"))
+
+let test_dependent_mats_not_commuted () =
+  let cat = OC.catalog () in
+  (* c.country.president depends on c.country: the dependent order is the
+     only one *)
+  let ctx, root, _ = memo_of cat Q.fig2 in
+  let top_select_inputs =
+    Engine.group_exprs ctx root
+    |> List.concat_map (fun (m : Engine.mexpr) ->
+           match m.Engine.mop with Logical.Select _ -> m.Engine.minputs | _ -> [])
+  in
+  (* in every select-over-mat form, president never appears below country *)
+  let rec president_below_country g fuel =
+    fuel > 0
+    && Engine.group_exprs ctx g
+       |> List.exists (fun (m : Engine.mexpr) ->
+              match m.Engine.mop, m.Engine.minputs with
+              | Logical.Mat { field = Some "country"; _ }, [ g' ] ->
+                any_group_has ctx g'
+                  (function
+                    | Logical.Mat { field = Some "president"; _ } -> true
+                    | _ -> false)
+                  ~fuel:(fuel - 1)
+              | _, inputs ->
+                List.exists (fun g' -> president_below_country g' (fuel - 1)) inputs)
+  in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "president above country" false (president_below_country g 8))
+    top_select_inputs
+
+let test_setop_commute () =
+  let cat = OC.catalog () in
+  let g b = Logical.get ~coll:"Cities" ~binding:b in
+  let q = Logical.union (g "c") (Logical.select [] (g "c") |> fun _ -> g "c") in
+  (* union of a group with itself: commuted form dedups into the same *)
+  let ctx, root, _ = memo_of cat q in
+  Alcotest.(check int) "self-union has one form" 1 (List.length (Engine.group_exprs ctx root))
+
+let test_stats_monotone_in_rules () =
+  let cat = OC.catalog_with_indexes () in
+  let _, _, s_all = memo_of cat Q.q1 in
+  let disabled =
+    List.fold_left (fun o n -> Options.disable n o) Options.default Open_oodb.Trules.names
+  in
+  let _, _, s_none = memo_of ~options:disabled cat Q.q1 in
+  Alcotest.(check bool) "no transformations => minimal memo" true
+    (s_none.Engine.mexprs < s_all.Engine.mexprs);
+  Alcotest.(check int) "exactly the input expressions" 6 s_none.Engine.mexprs
+
+let () =
+  Alcotest.run "rules"
+    [ ( "transformations",
+        [ Alcotest.test_case "mat-to-join fires" `Quick test_mat_to_join_fires;
+          Alcotest.test_case "mat-to-join skips extent-less classes" `Quick
+            test_mat_to_join_respects_hidden;
+          Alcotest.test_case "mat-to-join disable" `Quick test_mat_to_join_disabled;
+          Alcotest.test_case "selection pushdown through unnest" `Quick test_select_pushdown;
+          Alcotest.test_case "join commutativity enlarges memo" `Quick
+            test_join_commutativity_closure;
+          Alcotest.test_case "closure terminates on fig2" `Quick test_closure_terminates_fig2;
+          Alcotest.test_case "independent mats commute" `Quick test_mat_commute_generates_orders;
+          Alcotest.test_case "dependent mats do not commute" `Quick
+            test_dependent_mats_not_commuted;
+          Alcotest.test_case "set-op self-commute dedups" `Quick test_setop_commute;
+          Alcotest.test_case "memo scales with rule set" `Quick test_stats_monotone_in_rules ] ) ]

@@ -1,0 +1,69 @@
+module Prng = Oodb_util.Prng
+module Pretty = Oodb_util.Pretty
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let take g = List.init 100 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (take a) (take b);
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true (take (Prng.create 42) <> take c)
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 13 in
+    Alcotest.(check bool) "int bound" true (v >= 0 && v < 13);
+    let w = Prng.int_in g 5 9 in
+    Alcotest.(check bool) "int_in range" true (w >= 5 && w <= 9);
+    let f = Prng.float g 2.5 in
+    Alcotest.(check bool) "float bound" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_prng_copy () =
+  let g = Prng.create 1 in
+  ignore (Prng.int g 10);
+  let h = Prng.copy g in
+  Alcotest.(check int) "copy continues identically" (Prng.int g 1000) (Prng.int h 1000)
+
+let test_prng_pick_shuffle () =
+  let g = Prng.create 3 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Prng.pick g arr) arr)
+  done;
+  let arr2 = Array.init 20 (fun i -> i) in
+  Prng.shuffle g arr2;
+  Alcotest.(check (list int)) "shuffle is a permutation" (List.init 20 (fun i -> i))
+    (List.sort compare (Array.to_list arr2))
+
+let test_pretty_spine () =
+  let t = Pretty.Node ("a", [ Pretty.Node ("b", [ Pretty.Node ("c", []) ]) ]) in
+  Alcotest.(check string) "vertical spine" "a\n|\nb\n|\nc" (Pretty.render t)
+
+let test_pretty_fanout () =
+  let t = Pretty.Node ("join", [ Pretty.Node ("l", []); Pretty.Node ("r", []) ]) in
+  Alcotest.(check string) "fanout indents" "join\n|\n    l\n|\n    r" (Pretty.render t)
+
+let test_pretty_compact () =
+  let t = Pretty.Node ("a", [ Pretty.Node ("b", []); Pretty.Node ("c", []) ]) in
+  Alcotest.(check string) "compact" "a(b, c)" (Pretty.render_compact t)
+
+let prop_prng_uniformish =
+  QCheck2.Test.make ~name:"int bound respected for random bounds" ~count:200
+    QCheck2.Gen.(pair small_signed_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      List.for_all (fun v -> v >= 0 && v < bound) (List.init 50 (fun _ -> Prng.int g bound)))
+
+let () =
+  Alcotest.run "util"
+    [ ( "prng",
+        [ Alcotest.test_case "determinism" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "pick and shuffle" `Quick test_prng_pick_shuffle;
+          QCheck_alcotest.to_alcotest prop_prng_uniformish ] );
+      ( "pretty",
+        [ Alcotest.test_case "spine rendering" `Quick test_pretty_spine;
+          Alcotest.test_case "fanout rendering" `Quick test_pretty_fanout;
+          Alcotest.test_case "compact rendering" `Quick test_pretty_compact ] ) ]
