@@ -229,8 +229,107 @@ let greedy_cmd =
     (Cmd.info "greedy" ~doc:"Run the ObjectStore-style greedy baseline and compare.")
     Term.(const greedy_run $ paper_arg $ query_pos)
 
+(* ------------------------------------------------------------------ *)
+(* lint: all verifier passes over queries x optimizers x rule subsets    *)
+
+let lint_run verbose =
+  let queries = Oodb_workloads.Queries.all in
+  let catalogs = [ ("indexes", OC.catalog_with_indexes ()); ("no-indexes", OC.catalog ()) ] in
+  let variants =
+    [ ("default", Options.default);
+      ("warm-start", Options.with_warm_start Options.default);
+      ("window-1", Options.with_assembly_window 1 Options.default);
+      ("no-pruning", { Options.default with Options.pruning = false }) ]
+    @ List.map
+        (fun r -> ("disable:" ^ r, Options.disable r Options.default))
+        Options.rule_names
+  in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  let planned = ref 0 in
+  let fail fmt =
+    incr failures;
+    Format.printf fmt
+  in
+  let lint_plan label cat plan =
+    incr planned;
+    (match Oodb_verify.Verify.plan cat plan with
+    | Ok () -> ()
+    | Error vs ->
+      fail "FAIL %s: plan lint@.%a@." label Oodb_verify.Verify.pp_violations vs);
+    match Oodb_verify.Verify.plan_costs plan with
+    | Ok () -> ()
+    | Error vs ->
+      fail "FAIL %s: cost sanity@." label;
+      List.iter (Format.printf "  %a@." Oodb_verify.Verify.pp_cost_violation) vs
+  in
+  List.iter
+    (fun (cat_name, cat) ->
+      List.iter
+        (fun (variant, options) ->
+          (* lint explicitly: verify=off so violations are reported, not raised *)
+          let options = { options with Options.verify = false } in
+          List.iter
+            (fun (qname, q) ->
+              let label = Printf.sprintf "%s/%s/%s" cat_name variant qname in
+              incr checked;
+              if verbose then Format.printf "lint %s@." label;
+              let outcome = Opt.optimize ~options cat q in
+              (match outcome.Opt.plan with
+              | Some plan -> lint_plan label cat plan
+              | None -> ());
+              match
+                Oodb_verify.Verify.memo ~config:options.Options.config cat
+                  outcome.Opt.memo
+              with
+              | Ok () -> ()
+              | Error vs ->
+                fail "FAIL %s: memo consistency@." label;
+                List.iter (Format.printf "  %a@." Oodb_verify.Verify.pp_memo_violation) vs)
+            queries)
+        variants;
+      (* baselines *)
+      List.iter
+        (fun (qname, q) ->
+          (match Oodb_baselines.Greedy.optimize cat q with
+          | Ok plan ->
+            incr checked;
+            lint_plan (Printf.sprintf "%s/greedy/%s" cat_name qname) cat plan
+          | Error _ -> (* query outside the greedy baseline's shape *) ());
+          let outcome = Oodb_baselines.Naive.optimize cat q in
+          incr checked;
+          match outcome.Opt.plan with
+          | Some plan -> lint_plan (Printf.sprintf "%s/naive/%s" cat_name qname) cat plan
+          | None -> ())
+        queries)
+    catalogs;
+  (* rule-set analysis: coverage + termination over the full workload *)
+  let report =
+    Oodb_verify.Verify.rules (OC.catalog_with_indexes ()) queries
+  in
+  Format.printf "@.rule coverage over the paper workload:@.%a"
+    Oodb_verify.Verify.pp_rules_report report;
+  if not (Oodb_verify.Verify.rules_ok report) then
+    fail "FAIL rule-set analysis: closure diverged@.";
+  Format.printf "@.lint: %d configurations, %d plans linted, %d failure(s)@." !checked
+    !planned !failures;
+  if !failures = 0 then 0 else 1
+
+let lint_cmd =
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print each configuration as it is checked.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run all verifier passes (plan linter, memo consistency, cost sanity, rule-set \
+          analysis) over the workload queries under every baseline optimizer and \
+          rule-toggle subset.")
+    Term.(const lint_run $ verbose_arg)
+
 let () =
   let doc = "The Open OODB query optimizer (SIGMOD 1993 reproduction)" in
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-          [ catalog_cmd; rules_cmd; optimize_cmd; memo_cmd; run_cmd; greedy_cmd; analyze_cmd ]))
+          [ catalog_cmd; rules_cmd; optimize_cmd; memo_cmd; run_cmd; greedy_cmd; analyze_cmd;
+            lint_cmd ]))

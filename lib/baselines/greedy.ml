@@ -328,8 +328,16 @@ let optimize ?(config = Config.default) cat expr =
         | None -> with_filter
         | Some ps ->
           let lp = derive (Logical.Project ps) [ with_filter.lp ] in
+          (* the project narrows the tuple to its operand bindings, so it
+             can only deliver those in memory *)
+          let keep =
+            List.concat_map
+              (fun (p : Logical.proj) -> Pred.bindings_of_operand p.Logical.p_expr)
+              ps
+          in
           mk (Physical.Alg_project ps) [ with_filter ]
             ~local:(Costmodel.alg_project config ~card:with_filter.lp.Lprops.card)
-            ~lp ~mem:with_filter.mem
+            ~lp
+            ~mem:(Bset.filter (fun b -> List.mem b keep) with_filter.mem)
       in
       Ok final.plan)

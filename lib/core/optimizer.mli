@@ -19,6 +19,7 @@ val optimize :
   ?options:Options.t ->
   ?required:Physprop.t ->
   ?initial_limit:Oodb_cost.Cost.t ->
+  ?closure_fuel:int ->
   Oodb_catalog.Catalog.t ->
   Oodb_algebra.Logical.t ->
   outcome
@@ -27,8 +28,11 @@ val optimize :
     [initial_limit] seeds branch-and-bound with a heuristic plan's cost
     (Volcano's heuristic-guidance mechanism, which the paper lists as
     unevaluated future work); if no plan at or below the limit exists
-    the outcome carries no plan.
-    @raise Invalid_argument if the expression is not well-formed. *)
+    the outcome carries no plan. [closure_fuel] bounds logical-closure
+    work for rule-set diagnostics (see {!Model.Engine.run}).
+    @raise Invalid_argument if the expression is not well-formed, or if
+    [options.verify] is on and the winning plan fails {!Planlint.plan} —
+    the signature of an unsound rule. *)
 
 val cost : outcome -> Oodb_cost.Cost.t
 (** Anticipated execution cost of the chosen plan.

@@ -3,13 +3,15 @@ type t = {
   disabled : string list;
   pruning : bool;
   normalize : bool;
+  verify : bool;
 }
 
 let default =
   { config = Oodb_cost.Config.default;
     disabled = [ "warm-assembly" ];
     pruning = true;
-    normalize = true }
+    normalize = true;
+    verify = true }
 
 let rule_names = Trules.names @ Irules.names @ Enforcers.names
 

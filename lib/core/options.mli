@@ -11,6 +11,11 @@ type t = {
   normalize : bool;
       (** run the {!Argtrans} argument-transformation pass before
           algebraic optimization (default on) *)
+  verify : bool;
+      (** lint every winning plan with {!Planlint.plan} before returning
+          it (default on); {!Optimizer.optimize} raises on violations —
+          an unsound rule then fails loudly instead of producing a plan
+          that dereferences garbage at run time *)
 }
 
 val default : t

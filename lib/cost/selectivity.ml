@@ -4,20 +4,37 @@ module Pred = Oodb_algebra.Pred
 let clamp s = Float.max 1e-9 (Float.min 1.0 s)
 
 (* Distinct-value estimate for [binding.field], preferring index
-   statistics on the provenance path over class statistics. *)
+   statistics on the provenance path over class statistics.
+
+   The estimate must not depend on HOW the binding entered scope: a
+   transformation rule may turn [Mat e] into a join with [Get Employees]
+   and both forms share a memo group, so both must price [e.name] the
+   same (the memo consistency checker enforces this). When the
+   provenance chain is lost (unnest, projection), a single-attribute
+   index on any collection of the binding's class supplies the same
+   statistic the [Get]-sourced form would find through its provenance. *)
 let distinct_of _cfg cat ~env binding field =
+  let class_based () =
+    match Lprops.class_of env binding with
+    | None -> None
+    | Some cls -> (
+      match Catalog.distinct cat ~cls ~field with
+      | Some d -> Some (float_of_int d)
+      | None ->
+        Catalog.collections cat
+        |> List.find_map (fun co ->
+               if co.Catalog.co_class = cls then
+                 Option.map
+                   (fun ix -> float_of_int ix.Catalog.ix_distinct)
+                   (Catalog.find_index cat ~coll:co.Catalog.co_name ~path:[ field ])
+               else None))
+  in
   match Lprops.provenance env binding with
   | Some (coll, path) -> (
     match Catalog.find_index cat ~coll ~path:(path @ [ field ]) with
     | Some ix -> Some (float_of_int ix.Catalog.ix_distinct)
-    | None -> (
-      match Lprops.class_of env binding with
-      | None -> None
-      | Some cls -> Option.map float_of_int (Catalog.distinct cat ~cls ~field)))
-  | None -> (
-    match Lprops.class_of env binding with
-    | None -> None
-    | Some cls -> Option.map float_of_int (Catalog.distinct cat ~cls ~field))
+    | None -> class_based ())
+  | None -> class_based ()
 
 let atom (cfg : Config.t) cat ~env (a : Pred.atom) =
   let eq_field_sel binding field =
@@ -76,5 +93,10 @@ let atom (cfg : Config.t) cat ~env (a : Pred.atom) =
   in
   clamp sel
 
+(* No clamp on the product: each factor is already clamped, and flooring
+   the product would make estimation non-compositional — a conjunction
+   split across a Select and a Join (or across two Joins) must estimate
+   exactly like the merged form, or equivalent memo groups derive
+   different cardinalities (caught by the memo consistency checker). *)
 let pred cfg cat ~env atoms =
-  clamp (List.fold_left (fun acc a -> acc *. atom cfg cat ~env a) 1.0 atoms)
+  List.fold_left (fun acc a -> acc *. atom cfg cat ~env a) 1.0 atoms

@@ -10,6 +10,22 @@ module Config = Oodb_cost.Config
 
 type row = (string * Value.t) list
 
+(* Debug mode: refuse plans that fail the static linter before running
+   them — a lint violation at this point means a hand-built or corrupted
+   plan (the optimizer already checks its own output). *)
+let debug_default =
+  match Sys.getenv_opt "OODB_DEBUG" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let lint_or_refuse db plan =
+  match Open_oodb.Planlint.plan (Db.catalog db) plan with
+  | Ok () -> ()
+  | Error vs ->
+    invalid_arg
+      (Format.asprintf "Executor: refusing invalid plan:@.%a"
+         Open_oodb.Planlint.pp_violations vs)
+
 let rec iterator ?(config = Config.default) db (plan : Engine.plan) =
   let child n =
     let cp = List.nth plan.Engine.children n in
@@ -59,7 +75,8 @@ let rows_of db (plan : Engine.plan) envs =
         List.map (fun b -> (b, Value.Ref (Env.oid env b))) (Env.bindings env))
       envs
 
-let run ?config db plan =
+let run ?(verify = debug_default) ?config db plan =
+  if verify then lint_or_refuse db plan;
   let it = iterator ?config db plan in
   rows_of db plan (Iterator.to_list it)
 
@@ -71,12 +88,12 @@ type io_report = {
   simulated_seconds : float;
 }
 
-let run_measured ?(config = Config.default) db plan =
+let run_measured ?verify ?(config = Config.default) db plan =
   let store = Db.store db in
   Disk.reset_stats (Store.disk store);
   Buffer_pool.reset_stats (Store.buffer store);
   Buffer_pool.flush (Store.buffer store);
-  let rows = run ~config db plan in
+  let rows = run ?verify ~config db plan in
   let d = Disk.stats (Store.disk store) in
   let b = Buffer_pool.stats (Store.buffer store) in
   let report =

@@ -12,8 +12,12 @@ type row = (string * Value.t) list
 val iterator : ?config:Config.t -> Db.t -> Engine.plan -> Iterator.t
 (** Build the iterator tree for a physical plan. *)
 
-val run : ?config:Config.t -> Db.t -> Engine.plan -> row list
-(** Execute to completion and extract result rows. *)
+val run : ?verify:bool -> ?config:Config.t -> Db.t -> Engine.plan -> row list
+(** Execute to completion and extract result rows. [verify] runs the
+    static plan linter ({!Open_oodb.Planlint.plan}) first and refuses the
+    plan on any violation; it defaults to on when the [OODB_DEBUG]
+    environment variable is set (non-empty, not ["0"]).
+    @raise Invalid_argument when [verify] is on and the plan is invalid. *)
 
 type io_report = {
   seq_reads : int;
@@ -25,7 +29,8 @@ type io_report = {
           executed counterpart of the optimizer's anticipated I/O cost *)
 }
 
-val run_measured : ?config:Config.t -> Db.t -> Engine.plan -> row list * io_report
+val run_measured :
+  ?verify:bool -> ?config:Config.t -> Db.t -> Engine.plan -> row list * io_report
 (** Like {!run}, but resets the disk/buffer statistics first and reports
     the traffic the plan caused. *)
 

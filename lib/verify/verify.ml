@@ -1,0 +1,186 @@
+module Planlint = Open_oodb.Planlint
+module Engine = Open_oodb.Model.Engine
+module Options = Open_oodb.Options
+module Optimizer = Open_oodb.Optimizer
+module Catalog = Oodb_catalog.Catalog
+module Logical = Oodb_algebra.Logical
+module Lprops = Oodb_cost.Lprops
+module Estimator = Oodb_cost.Estimator
+module Cost = Oodb_cost.Cost
+
+(* ------------------------------------------------------------------ *)
+(* Plan linting (the pass itself lives in lib/core so the optimizer can
+   run it on every winning plan without a dependency cycle)             *)
+
+type violation = Planlint.violation
+
+let plan = Planlint.plan
+
+let pp_violation = Planlint.pp_violation
+
+let pp_violations = Planlint.pp_violations
+
+(* ------------------------------------------------------------------ *)
+(* Memo consistency                                                     *)
+
+type memo_detail =
+  | Card_mismatch of { group_card : float; mexpr_card : float }
+  | Scope_mismatch of { group_scope : string list; mexpr_scope : string list }
+  | Derive_failure of string
+
+type memo_violation = {
+  mv_group : int;
+  mv_mexpr : string;
+  mv_detail : memo_detail;
+}
+
+let pp_memo_violation ppf v =
+  let detail ppf = function
+    | Card_mismatch { group_card; mexpr_card } ->
+      Format.fprintf ppf "cardinality %.6g, group says %.6g" mexpr_card group_card
+    | Scope_mismatch { group_scope; mexpr_scope } ->
+      Format.fprintf ppf "scope {%s}, group says {%s}"
+        (String.concat ", " mexpr_scope)
+        (String.concat ", " group_scope)
+    | Derive_failure msg -> Format.fprintf ppf "derivation failed: %s" msg
+  in
+  Format.fprintf ppf "group %d: %s derives %a" v.mv_group v.mv_mexpr detail v.mv_detail
+
+let scope_of_lprop (lp : Lprops.t) =
+  List.sort String.compare (List.map fst lp.Lprops.bindings)
+
+let cards_agree rtol a b =
+  (a = b)
+  || (Float.is_finite a && Float.is_finite b
+     && Float.abs (a -. b) <= rtol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+     )
+
+let memo ?(card_rtol = 1e-6) ~config cat ctx =
+  let acc = ref [] in
+  List.iter
+    (fun g ->
+      let glp = Engine.group_lprop ctx g in
+      List.iter
+        (fun (m : Engine.mexpr) ->
+          let name =
+            Format.asprintf "%a(%s)" Logical.pp_op m.Engine.mop
+              (String.concat ", " (List.map string_of_int m.Engine.minputs))
+          in
+          let push d = acc := { mv_group = g; mv_mexpr = name; mv_detail = d } :: !acc in
+          match
+            Estimator.derive config cat m.Engine.mop
+              (List.map (Engine.group_lprop ctx) m.Engine.minputs)
+          with
+          | exception Invalid_argument msg -> push (Derive_failure msg)
+          | derived ->
+            let gs = scope_of_lprop glp and ms = scope_of_lprop derived in
+            if gs <> ms then push (Scope_mismatch { group_scope = gs; mexpr_scope = ms });
+            if not (cards_agree card_rtol glp.Lprops.card derived.Lprops.card) then
+              push
+                (Card_mismatch
+                   { group_card = glp.Lprops.card; mexpr_card = derived.Lprops.card }))
+        (Engine.group_exprs ctx g))
+    (Engine.groups ctx);
+  match List.rev !acc with [] -> Ok () | vs -> Error vs
+
+(* ------------------------------------------------------------------ *)
+(* Cost sanity                                                          *)
+
+type cost_violation = {
+  cv_alg : string;
+  cv_reason : string;
+}
+
+let pp_cost_violation ppf v = Format.fprintf ppf "%s: %s" v.cv_alg v.cv_reason
+
+let plan_costs (p : Engine.plan) =
+  let acc = ref [] in
+  let rec walk (p : Engine.plan) =
+    let total = Cost.total p.Engine.cost in
+    let push reason =
+      acc := { cv_alg = Open_oodb.Physical.to_string p.Engine.alg; cv_reason = reason } :: !acc
+    in
+    if not (Cost.is_finite p.Engine.cost) then push "cost is not finite"
+    else if total < 0.0 then push (Printf.sprintf "cost is negative (%.6g)" total)
+    else begin
+      let children_total =
+        List.fold_left (fun s c -> s +. Cost.total c.Engine.cost) 0.0 p.Engine.children
+      in
+      (* a tolerance for float summation order; subtree costs are sums of
+         non-negative local costs, so any real shortfall is much larger *)
+      if total +. 1e-9 +. (1e-9 *. Float.abs children_total) < children_total then
+        push
+          (Printf.sprintf "cost %.6g is below the sum of its inputs' costs %.6g" total
+             children_total)
+    end;
+    List.iter walk p.Engine.children
+  in
+  walk p;
+  match List.rev !acc with [] -> Ok () | vs -> Error vs
+
+(* ------------------------------------------------------------------ *)
+(* Rule-set analysis                                                    *)
+
+type rule_stat = {
+  rs_name : string;
+  rs_tried : int;
+  rs_fired : int;
+}
+
+type rules_report = {
+  per_rule : rule_stat list;
+  never_fired : string list;
+  incomplete : (string * int) list;
+}
+
+let rules ?(options = Options.default) ?(fuel = 100_000) cat queries =
+  let totals = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace totals n (0, 0)) Options.rule_names;
+  let incomplete = ref [] in
+  List.iter
+    (fun (name, q) ->
+      let outcome = Optimizer.optimize ~options ~closure_fuel:fuel cat q in
+      if not outcome.Optimizer.stats.Engine.closure_complete then
+        incomplete :=
+          (name, outcome.Optimizer.stats.Engine.closure_steps) :: !incomplete;
+      List.iter
+        (fun (rule, tried, fired) ->
+          let t0, f0 = Option.value ~default:(0, 0) (Hashtbl.find_opt totals rule) in
+          Hashtbl.replace totals rule (t0 + tried, f0 + fired))
+        (Engine.rule_counters outcome.Optimizer.memo))
+    queries;
+  let per_rule =
+    Hashtbl.fold
+      (fun rs_name (rs_tried, rs_fired) acc -> { rs_name; rs_tried; rs_fired } :: acc)
+      totals []
+    |> List.sort (fun a b -> String.compare a.rs_name b.rs_name)
+  in
+  let never_fired =
+    List.filter_map
+      (fun r ->
+        if r.rs_fired = 0 && not (List.mem r.rs_name options.Options.disabled) then
+          Some r.rs_name
+        else None)
+      per_rule
+  in
+  { per_rule; never_fired; incomplete = List.rev !incomplete }
+
+let rules_ok r = r.incomplete = []
+
+let pp_rules_report ppf r =
+  let width =
+    List.fold_left (fun w s -> max w (String.length s.rs_name)) 4 r.per_rule
+  in
+  Format.fprintf ppf "%-*s %8s %8s@." width "rule" "tried" "fired";
+  List.iter
+    (fun s -> Format.fprintf ppf "%-*s %8d %8d@." width s.rs_name s.rs_tried s.rs_fired)
+    r.per_rule;
+  (match r.never_fired with
+  | [] -> ()
+  | rules ->
+    Format.fprintf ppf "never fired over this workload: %s@." (String.concat ", " rules));
+  List.iter
+    (fun (q, steps) ->
+      Format.fprintf ppf
+        "DIVERGED: closure of %s did not terminate within %d steps@." q steps)
+    r.incomplete

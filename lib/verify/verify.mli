@@ -1,0 +1,125 @@
+(** Static checking for the optimizer, independent of execution.
+
+    Three passes, each checking a different layer of the stack:
+
+    - {!plan} lints a physical plan (binding scope, presence in memory,
+      sort orders, catalog references) — re-exported from
+      {!Open_oodb.Planlint}, where {!Open_oodb.Optimizer.optimize} runs
+      it on every winning plan when [Options.verify] is set;
+    - {!memo} checks the memo after logical closure: every
+      multi-expression in a group must derive the same logical
+      properties as its group, which statically catches unsound
+      transformation rules; {!plan_costs} adds cost sanity on winning
+      plans;
+    - {!rules} instruments the closure over a whole workload, reporting
+      per-rule coverage, rules that never fire, and non-terminating rule
+      cycles (detected by a closure fuel bound).
+
+    [bin/oodb lint] runs all three over the paper's workload queries. *)
+
+module Planlint = Open_oodb.Planlint
+module Engine = Open_oodb.Model.Engine
+
+(** {1 Plan linting} *)
+
+type violation = Planlint.violation
+
+val plan :
+  ?required:Open_oodb.Physprop.t ->
+  Oodb_catalog.Catalog.t ->
+  Engine.plan ->
+  (unit, violation list) result
+(** See {!Open_oodb.Planlint.plan}. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_violations : Format.formatter -> violation list -> unit
+
+(** {1 Memo consistency} *)
+
+type memo_detail =
+  | Card_mismatch of { group_card : float; mexpr_card : float }
+      (** re-deriving the multi-expression's cardinality from its input
+          groups disagrees with the group's property — some rule merged
+          inequivalent expressions *)
+  | Scope_mismatch of { group_scope : string list; mexpr_scope : string list }
+      (** binding sets differ: the expressions cannot be equivalent *)
+  | Derive_failure of string
+      (** property derivation itself rejected the multi-expression *)
+
+type memo_violation = {
+  mv_group : int;
+  mv_mexpr : string;  (** rendering of the offending multi-expression *)
+  mv_detail : memo_detail;
+}
+
+val pp_memo_violation : Format.formatter -> memo_violation -> unit
+
+val memo :
+  ?card_rtol:float ->
+  config:Oodb_cost.Config.t ->
+  Oodb_catalog.Catalog.t ->
+  Engine.ctx ->
+  (unit, memo_violation list) result
+(** Check every group of a memo: each multi-expression, re-derived from
+    its input groups' properties, must match the group's own logical
+    properties — same binding scope (as a set: commutativity rules
+    reorder introduction order) and same cardinality up to [card_rtol]
+    (default [1e-6], covering float drift between derivation orders).
+    Sound rule sets pass exactly; a rule that rewrites an expression to
+    a non-equivalent one merges groups with different properties and is
+    flagged here without ever executing a plan. *)
+
+(** {1 Cost sanity} *)
+
+type cost_violation = {
+  cv_alg : string;
+  cv_reason : string;
+}
+
+val pp_cost_violation : Format.formatter -> cost_violation -> unit
+
+val plan_costs : Engine.plan -> (unit, cost_violation list) result
+(** Every subtree's cost must be finite, non-negative, and at least the
+    sum of its children's costs (a node cannot un-spend its inputs'
+    work). *)
+
+(** {1 Rule-set analysis} *)
+
+type rule_stat = {
+  rs_name : string;
+  rs_tried : int;
+  rs_fired : int;
+}
+
+type rules_report = {
+  per_rule : rule_stat list;
+      (** every rule of the configuration, aggregated over the workload;
+          disabled rules appear with zero counts *)
+  never_fired : string list;
+      (** enabled rules that never produced anything over the workload —
+          dead weight or a guard bug; reported, not fatal *)
+  incomplete : (string * int) list;
+      (** queries whose logical closure did not reach a fixpoint within
+          the fuel bound [(query, closure steps)] — the signature of a
+          non-terminating rule cycle; fatal *)
+}
+
+val rules :
+  ?options:Open_oodb.Options.t ->
+  ?fuel:int ->
+  Oodb_catalog.Catalog.t ->
+  (string * Oodb_algebra.Logical.t) list ->
+  rules_report
+(** Optimize every named query with per-rule instrumentation and a
+    closure fuel bound (default [100_000] steps — two orders of
+    magnitude above what the paper workload needs, so hitting it means
+    divergence, not a hard query). *)
+
+val rules_ok : rules_report -> bool
+(** No query diverged. Never-firing rules do not fail the check: the
+    set-operation rules legitimately never fire on the paper's
+    workload. *)
+
+val pp_rules_report : Format.formatter -> rules_report -> unit
+(** The per-rule coverage table. *)

@@ -75,7 +75,11 @@ module Make (M : MODEL) = struct
     mutable s_candidates : int;
     mutable s_enforcer_uses : int;
     mutable s_phys_memo_hits : int;
+    mutable s_closure_steps : int;
+    mutable s_closure_complete : bool;
   }
+
+  type rule_counter = { mutable rc_tried : int; mutable rc_fired : int }
 
   type ctx = {
     mutable parents : int array; (* union-find over group ids *)
@@ -83,7 +87,22 @@ module Make (M : MODEL) = struct
     mutable n_groups : int;
     mexpr_index : (int * int list, group) Hashtbl.t; (* (op hash, inputs) is a weak key; resolved by scan *)
     ms : mutable_stats;
+    rule_tbl : (string, rule_counter) Hashtbl.t;
   }
+
+  let rule_counter ctx name =
+    match Hashtbl.find_opt ctx.rule_tbl name with
+    | Some c -> c
+    | None ->
+      let c = { rc_tried = 0; rc_fired = 0 } in
+      Hashtbl.add ctx.rule_tbl name c;
+      c
+
+  let rule_counters ctx =
+    Hashtbl.fold (fun name c acc -> (name, c.rc_tried, c.rc_fired) :: acc) ctx.rule_tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+  let closure_complete ctx = ctx.ms.s_closure_complete
 
   (* ------------------------------------------------------------------ *)
   (* Union-find over groups                                              *)
@@ -144,6 +163,14 @@ module Make (M : MODEL) = struct
         (List.map (find ctx) gs)
 
   let group_lprop ctx g = (group_data ctx g).glprop
+
+  (* Canonical (union-find root) group ids, in creation order. *)
+  let groups ctx =
+    let acc = ref [] in
+    for g = ctx.n_groups - 1 downto 0 do
+      if find ctx g = g then acc := g :: !acc
+    done;
+    !acc
 
   let group_exprs ctx g =
     (* unions elsewhere in the memo can retroactively make an expression
@@ -248,6 +275,8 @@ module Make (M : MODEL) = struct
     candidates : int;
     enforcer_uses : int;
     phys_memo_hits : int;
+    closure_steps : int;
+    closure_complete : bool;
   }
 
   type expr = Expr of M.Op.t * expr list
@@ -284,12 +313,18 @@ module Make (M : MODEL) = struct
     intern_build spec ctx queue
       (Node (op, List.map (fun e -> Ref (intern_expr spec ctx queue e)) children))
 
-  let closure spec ctx queue ~enabled_trules =
-    while not (Queue.is_empty queue) do
+  let closure ?fuel spec ctx queue ~enabled_trules =
+    let exhausted () =
+      match fuel with None -> false | Some n -> ctx.ms.s_closure_steps >= n
+    in
+    while (not (Queue.is_empty queue)) && not (exhausted ()) do
+      ctx.ms.s_closure_steps <- ctx.ms.s_closure_steps + 1;
       let g, m = Queue.pop queue in
       List.iter
         (fun rule ->
           ctx.ms.s_trule_tried <- ctx.ms.s_trule_tried + 1;
+          let counter = rule_counter ctx rule.t_name in
+          counter.rc_tried <- counter.rc_tried + 1;
           let builds = rule.t_apply ctx m in
           List.iter
             (fun b ->
@@ -298,6 +333,7 @@ module Make (M : MODEL) = struct
                 (* A rule asserting the whole group equals another group:
                    merge them. *)
                 let g' = intern_build spec ctx queue b in
+                if find ctx g <> find ctx g' then counter.rc_fired <- counter.rc_fired + 1;
                 union ctx g g'
               | Node (op, children) ->
                 let gs =
@@ -307,11 +343,16 @@ module Make (M : MODEL) = struct
                 (match add_mexpr ctx g m' with
                 | Some entry ->
                   ctx.ms.s_trule_fired <- ctx.ms.s_trule_fired + 1;
+                  counter.rc_fired <- counter.rc_fired + 1;
                   Queue.add entry queue
                 | None -> ()))
             builds)
         enabled_trules
-    done
+    done;
+    (* A drained queue means the rule set reached its fixpoint; leftover
+       entries mean the fuel budget interrupted a (possibly diverging)
+       closure. *)
+    ctx.ms.s_closure_complete <- Queue.is_empty queue
 
   (* ------------------------------------------------------------------ *)
   (* Physical search                                                     *)
@@ -414,13 +455,21 @@ module Make (M : MODEL) = struct
               (fun m ->
                 List.iter
                   (fun (ir : irule) ->
-                    List.iter try_candidate (ir.i_apply ctx ~required m))
+                    let counter = rule_counter ctx ir.i_name in
+                    counter.rc_tried <- counter.rc_tried + 1;
+                    let cands = ir.i_apply ctx ~required m in
+                    counter.rc_fired <- counter.rc_fired + List.length cands;
+                    List.iter try_candidate cands)
                   enabled_irules)
               (group_exprs ctx g);
             (* Enforcers: achieve [required] by gluing a property-enforcing
                algorithm on top of a plan for weaker requirements. *)
             List.iter
               (fun (en : enforcer) ->
+                let counter = rule_counter ctx en.e_name in
+                counter.rc_tried <- counter.rc_tried + 1;
+                let offers = en.e_apply ctx ~required g in
+                counter.rc_fired <- counter.rc_fired + List.length offers;
                 List.iter
                   (fun (alg, weaker, ecost) ->
                     let remaining = M.Cost.sub (current_limit ()) ecost in
@@ -433,7 +482,7 @@ module Make (M : MODEL) = struct
                           children = [ sub ];
                           cost = M.Cost.add ecost sub.cost;
                           delivered = required })
-                  (en.e_apply ctx ~required g))
+                  offers)
               enabled_enforcers;
             entry.best <- !best;
             entry.searched <-
@@ -465,8 +514,8 @@ module Make (M : MODEL) = struct
     done;
     !n
 
-  let run ?(disabled = []) ?(pruning = true) ?(initial_limit = M.Cost.infinite) spec expr
-      ~required =
+  let run ?(disabled = []) ?(pruning = true) ?(initial_limit = M.Cost.infinite) ?closure_fuel
+      spec expr ~required =
     let enabled name = not (List.mem name disabled) in
     let ctx =
       { parents = Array.init 64 (fun i -> i);
@@ -478,11 +527,14 @@ module Make (M : MODEL) = struct
             s_trule_tried = 0;
             s_candidates = 0;
             s_enforcer_uses = 0;
-            s_phys_memo_hits = 0 } }
+            s_phys_memo_hits = 0;
+            s_closure_steps = 0;
+            s_closure_complete = true };
+        rule_tbl = Hashtbl.create 32 }
     in
     let queue = Queue.create () in
     let root = intern_expr spec ctx queue expr in
-    closure spec ctx queue
+    closure ?fuel:closure_fuel spec ctx queue
       ~enabled_trules:(List.filter (fun r -> enabled r.t_name) spec.transformations);
     let plan =
       optimize_physical ctx
@@ -497,7 +549,9 @@ module Make (M : MODEL) = struct
         trule_tried = ctx.ms.s_trule_tried;
         candidates = ctx.ms.s_candidates;
         enforcer_uses = ctx.ms.s_enforcer_uses;
-        phys_memo_hits = ctx.ms.s_phys_memo_hits }
+        phys_memo_hits = ctx.ms.s_phys_memo_hits;
+        closure_steps = ctx.ms.s_closure_steps;
+        closure_complete = ctx.ms.s_closure_complete }
     in
     { plan; stats; root = find ctx root; ctx }
 

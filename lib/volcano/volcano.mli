@@ -101,6 +101,22 @@ module Make (M : MODEL) : sig
       a fixpoint before physical search starts, so during implementation
       rules this is the complete set). *)
 
+  val groups : ctx -> group list
+  (** Canonical group ids (union-find roots), in creation order — the
+      hook static analyses use to sweep the whole memo. *)
+
+  val rule_counters : ctx -> (string * int * int) list
+  (** Per-rule [(name, tried, fired)] instrumentation, sorted by name.
+      "Fired" means: a transformation added a new multi-expression or
+      merged two groups; an implementation rule produced a candidate; an
+      enforcer produced an offer. Rules that were never invoked (e.g.
+      disabled ones) have no entry. *)
+
+  val closure_complete : ctx -> bool
+  (** [false] when a [closure_fuel] budget interrupted the logical
+      closure before its fixpoint — the signature of a non-terminating
+      rule cycle when the budget was generous. *)
+
   type trule = {
     t_name : string;
     t_apply : ctx -> mexpr -> build list;
@@ -154,6 +170,8 @@ module Make (M : MODEL) : sig
     candidates : int;  (** implementation candidates costed *)
     enforcer_uses : int;
     phys_memo_hits : int;
+    closure_steps : int;  (** multi-expressions popped during logical closure *)
+    closure_complete : bool;  (** [false] iff a [closure_fuel] budget ran out *)
   }
 
   type expr = Expr of M.Op.t * expr list
@@ -170,6 +188,7 @@ module Make (M : MODEL) : sig
     ?disabled:string list ->
     ?pruning:bool ->
     ?initial_limit:M.Cost.t ->
+    ?closure_fuel:int ->
     spec ->
     expr ->
     required:M.Pprop.t ->
@@ -180,7 +199,11 @@ module Make (M : MODEL) : sig
       enables branch-and-bound cost limits. [initial_limit] seeds the
       branch-and-bound budget — e.g. with the cost of a plan found by a
       heuristic optimizer (Volcano's "heuristic guidance" mechanism);
-      the result is [None] if no plan at or below the limit exists. *)
+      the result is [None] if no plan at or below the limit exists.
+      [closure_fuel] bounds logical-closure work (multi-expressions
+      popped); when it runs out, closure stops early and
+      [stats.closure_complete] is [false] — the rule-set analyzer uses
+      this to flag non-terminating rule cycles without hanging. *)
 
   val pp_plan : Format.formatter -> plan -> unit
 
