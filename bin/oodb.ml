@@ -6,6 +6,9 @@
      oodb optimize --paper q1              same for a built-in paper query
      oodb memo --paper q2                  dump the memo after closure
      oodb run "<zql>" [--scale 0.1]        optimize + execute on generated data
+     oodb run --paper q1 --profile         ... with per-operator profiling
+     oodb optimize --paper q1 --trace      ... with search tracing
+     oodb stats [-o FILE]                  full machine-readable workload report
      oodb greedy --paper q4                the ObjectStore-style greedy baseline
      oodb analyze --scale 0.2              refresh catalog statistics from data *)
 
@@ -19,6 +22,10 @@ module Options = Open_oodb.Options
 module Engine = Open_oodb.Model.Engine
 module Db = Oodb_exec.Db
 module Executor = Oodb_exec.Executor
+module Json = Oodb_util.Json
+module Trace = Oodb_obs.Trace
+module Profile = Oodb_obs.Profile
+module Report = Oodb_obs.Report
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -118,7 +125,7 @@ let rules_cmd =
     (Cmd.info "rules" ~doc:"List all togglable optimizer rules.")
     Term.(const (fun () -> run (); 0) $ const ())
 
-let optimize_run paper text disabled window no_pruning no_indexes =
+let optimize_run paper text disabled window no_pruning no_indexes trace timeline =
   let cat = if no_indexes then OC.catalog () else OC.catalog_with_indexes () in
   match compile_query cat paper text with
   | Error m ->
@@ -127,16 +134,40 @@ let optimize_run paper text disabled window no_pruning no_indexes =
   | Ok (q, required) ->
     Format.printf "optimizer input:@.%a@.@." Logical.pp q;
     let options = options_of disabled window no_pruning in
-    let outcome = Opt.optimize ~options ~required cat q in
+    let recorder = if trace then Some (Trace.create ()) else None in
+    let outcome =
+      Opt.optimize ~options ~required ?trace:(Option.map Trace.sink recorder) cat q
+    in
     Format.printf "%s" (Opt.explain outcome);
+    (match recorder with
+    | None -> ()
+    | Some tr ->
+      Format.printf "@.search trace: %a" Trace.pp_summary tr;
+      Format.printf "@.%a" Trace.pp_rules tr;
+      Format.printf "@.per-group activity:@.%a" Trace.pp_groups tr;
+      if timeline > 0 then
+        Format.printf "@.timeline (last %d events):@.%a" timeline
+          (Trace.pp_timeline ~limit:timeline) tr);
     0
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace"; "t" ]
+        ~doc:"Record the optimizer search trace and print its per-rule and per-group tables.")
+
+let timeline_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "timeline" ] ~docv:"N"
+        ~doc:"With $(b,--trace), also print the last $(docv) events of the search timeline.")
 
 let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Simplify, optimize and explain a query.")
     Term.(
       const optimize_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ no_indexes_arg)
+      $ no_indexes_arg $ trace_arg $ timeline_arg)
 
 let memo_run paper text disabled =
   let cat = OC.catalog_with_indexes () in
@@ -156,7 +187,7 @@ let memo_cmd =
     (Cmd.info "memo" ~doc:"Dump the memo (all groups and multi-expressions) after closure.")
     Term.(const memo_run $ paper_arg $ query_pos $ disable_arg)
 
-let run_run paper text disabled window no_pruning scale limit =
+let run_run paper text disabled window no_pruning scale limit profile =
   let db = Oodb_workloads.Datagen.generate ~scale () in
   let cat = Db.catalog db in
   match compile_query cat paper text with
@@ -167,8 +198,21 @@ let run_run paper text disabled window no_pruning scale limit =
     let options = options_of disabled window no_pruning in
     let outcome = Opt.optimize ~options ~required cat q in
     let plan = Opt.plan_exn outcome in
-    Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp (Opt.cost outcome);
-    let rows, report = Executor.run_measured db plan in
+    let rows, report =
+      if profile then begin
+        let rows, report, prof =
+          Profile.run ~config:options.Options.config db plan
+        in
+        Format.printf "plan (est vs actual):@.%a@.estimated: %a@.@." Profile.pp prof
+          Cost.pp (Opt.cost outcome);
+        (rows, report)
+      end
+      else begin
+        Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp
+          (Opt.cost outcome);
+        Executor.run_measured ~config:options.Options.config db plan
+      end
+    in
     Format.printf "%a@.@." Executor.pp_report report;
     List.iteri
       (fun i row ->
@@ -180,12 +224,19 @@ let run_run paper text disabled window no_pruning scale limit =
     if List.length rows > limit then Format.printf "... (%d rows)@." (List.length rows);
     0
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Wrap every operator in counting iterators and print the annotated plan: \
+              actual rows, estimated rows, q-error and per-operator I/O deltas.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize a query and execute it on a generated database.")
     Term.(
       const run_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ scale_arg $ limit_arg)
+      $ scale_arg $ limit_arg $ profile_arg)
 
 let greedy_run paper text =
   let cat = OC.catalog_with_indexes () in
@@ -228,6 +279,42 @@ let greedy_cmd =
   Cmd.v
     (Cmd.info "greedy" ~doc:"Run the ObjectStore-style greedy baseline and compare.")
     Term.(const greedy_run $ paper_arg $ query_pos)
+
+let stats_run scale out disabled window no_pruning =
+  let db = Oodb_workloads.Datagen.generate ~scale () in
+  let options = options_of disabled window no_pruning in
+  let registry = Oodb_obs.Metrics.create () in
+  let reports =
+    List.map
+      (fun (name, q) -> Report.collect ~options ~registry db ~name q)
+      Oodb_workloads.Queries.all
+  in
+  let json = Report.workload_json ~registry reports in
+  let text = Json.to_string json in
+  (match out with
+  | None -> print_endline text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    Format.eprintf "wrote %s@." path);
+  0
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv) instead of stdout.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Optimize and execute every workload query with tracing and profiling on, and emit \
+          one machine-readable JSON report: search statistics, per-rule and per-group trace \
+          tables (the paper's Tables 2-3 shape), chosen plans with costs, measured I/O, and \
+          per-operator profiles with estimated-vs-actual q-errors.")
+    Term.(const stats_run $ scale_arg $ out_arg $ disable_arg $ window_arg $ no_pruning_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint: all verifier passes over queries x optimizers x rule subsets    *)
@@ -332,4 +419,4 @@ let () =
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ catalog_cmd; rules_cmd; optimize_cmd; memo_cmd; run_cmd; greedy_cmd; analyze_cmd;
-            lint_cmd ]))
+            stats_cmd; lint_cmd ]))

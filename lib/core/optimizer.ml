@@ -20,7 +20,7 @@ let spec (options : Options.t) cat =
     enforcers = Enforcers.all cfg cat }
 
 let optimize ?(options = Options.default) ?(required = Physprop.empty)
-    ?(initial_limit = Cost.infinite) ?closure_fuel cat expr =
+    ?(initial_limit = Cost.infinite) ?closure_fuel ?trace cat expr =
   (match Logical.well_formed cat expr with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Optimizer.optimize: ill-formed query: %s" msg));
@@ -29,7 +29,7 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty)
   let t0 = Sys.time () in
   let result =
     Engine.run ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-      ~initial_limit ?closure_fuel spec (expr_of_logical expr) ~required
+      ~initial_limit ?closure_fuel ?trace spec (expr_of_logical expr) ~required
   in
   let t1 = Sys.time () in
   (if options.Options.verify then

@@ -20,6 +20,7 @@ val optimize :
   ?required:Physprop.t ->
   ?initial_limit:Oodb_cost.Cost.t ->
   ?closure_fuel:int ->
+  ?trace:(Model.Engine.event -> unit) ->
   Oodb_catalog.Catalog.t ->
   Oodb_algebra.Logical.t ->
   outcome
@@ -29,7 +30,9 @@ val optimize :
     (Volcano's heuristic-guidance mechanism, which the paper lists as
     unevaluated future work); if no plan at or below the limit exists
     the outcome carries no plan. [closure_fuel] bounds logical-closure
-    work for rule-set diagnostics (see {!Model.Engine.run}).
+    work for rule-set diagnostics (see {!Model.Engine.run}). [trace]
+    receives every search event (see {!Model.Engine.event}); leave it
+    unset for the zero-overhead nil-sink fast path.
     @raise Invalid_argument if the expression is not well-formed, or if
     [options.verify] is on and the winning plan fails {!Planlint.plan} —
     the signature of an unsound rule. *)

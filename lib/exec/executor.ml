@@ -26,41 +26,44 @@ let lint_or_refuse db plan =
       (Format.asprintf "Executor: refusing invalid plan:@.%a"
          Open_oodb.Planlint.pp_violations vs)
 
-let rec iterator ?(config = Config.default) db (plan : Engine.plan) =
+let rec iterator ?(config = Config.default) ?(wrap = fun _plan it -> it) db
+    (plan : Engine.plan) =
   let child n =
     let cp = List.nth plan.Engine.children n in
-    let it = iterator ~config db cp in
+    let it = iterator ~config ~wrap db cp in
     (* Carry only the objects the child promises in memory. *)
     Operators.trim
       (Open_oodb.Physprop.Bset.elements cp.Engine.delivered.Open_oodb.Physprop.in_memory)
       it
   in
-  match plan.Engine.alg, plan.Engine.children with
-  | Physical.File_scan { coll; binding }, [] -> Operators.file_scan db ~coll ~binding
-  | Physical.Index_scan { coll; binding; index; key; residual; derefs }, [] ->
-    Operators.index_scan db ~coll ~binding ~index ~key ~residual ~derefs
-  | Physical.Filter pred, [ _ ] -> Operators.filter pred (child 0)
-  | Physical.Hash_join pred, [ _; _ ] ->
-    Operators.hash_join db config pred ~build:(child 0) ~probe:(child 1)
-  | Physical.Merge_join { key_l; key_r; residual }, [ _; _ ] ->
-    Operators.merge_join ~key_l ~key_r ~residual ~left:(child 0) ~right:(child 1)
-  | Physical.Pointer_join { src; field; out; residual }, [ _ ] ->
-    Operators.pointer_join db ~src ~field ~out ~residual (child 0)
-  | Physical.Assembly { paths; window; warm }, [ _ ] ->
-    Operators.assembly db ~paths ~window ~warm (child 0)
-  | Physical.Alg_project ps, [ _ ] -> Operators.alg_project ps (child 0)
-  | Physical.Alg_unnest { src; field; out }, [ _ ] ->
-    Operators.alg_unnest db ~src ~field ~out (child 0)
-  | Physical.Hash_union, [ _; _ ] -> Operators.hash_union (child 0) (child 1)
-  | Physical.Hash_intersect, [ _; _ ] -> Operators.hash_intersect (child 0) (child 1)
-  | Physical.Hash_difference, [ _; _ ] -> Operators.hash_difference (child 0) (child 1)
-  | Physical.Sort o, [ _ ] -> Operators.sort o (child 0)
-  | _ -> invalid_arg "Executor.iterator: malformed plan (operator arity)"
+  let it =
+    match plan.Engine.alg, plan.Engine.children with
+    | Physical.File_scan { coll; binding }, [] -> Operators.file_scan db ~coll ~binding
+    | Physical.Index_scan { coll; binding; index; key; residual; derefs }, [] ->
+      Operators.index_scan db ~coll ~binding ~index ~key ~residual ~derefs
+    | Physical.Filter pred, [ _ ] -> Operators.filter pred (child 0)
+    | Physical.Hash_join pred, [ _; _ ] ->
+      Operators.hash_join db config pred ~build:(child 0) ~probe:(child 1)
+    | Physical.Merge_join { key_l; key_r; residual }, [ _; _ ] ->
+      Operators.merge_join ~key_l ~key_r ~residual ~left:(child 0) ~right:(child 1)
+    | Physical.Pointer_join { src; field; out; residual }, [ _ ] ->
+      Operators.pointer_join db ~src ~field ~out ~residual (child 0)
+    | Physical.Assembly { paths; window; warm }, [ _ ] ->
+      Operators.assembly db ~paths ~window ~warm (child 0)
+    | Physical.Alg_project ps, [ _ ] -> Operators.alg_project ps (child 0)
+    | Physical.Alg_unnest { src; field; out }, [ _ ] ->
+      Operators.alg_unnest db ~src ~field ~out (child 0)
+    | Physical.Hash_union, [ _; _ ] -> Operators.hash_union (child 0) (child 1)
+    | Physical.Hash_intersect, [ _; _ ] -> Operators.hash_intersect (child 0) (child 1)
+    | Physical.Hash_difference, [ _; _ ] -> Operators.hash_difference (child 0) (child 1)
+    | Physical.Sort o, [ _ ] -> Operators.sort o (child 0)
+    | _ -> invalid_arg "Executor.iterator: malformed plan (operator arity)"
+  in
+  wrap plan it
 
 (* Row extraction: a root Alg-Project evaluates its expressions; any
    other root yields binding/OID pairs. *)
-let rows_of db (plan : Engine.plan) envs =
-  ignore db;
+let rows_of (plan : Engine.plan) envs =
   match plan.Engine.alg with
   | Physical.Alg_project ps ->
     List.map
@@ -78,15 +81,38 @@ let rows_of db (plan : Engine.plan) envs =
 let run ?(verify = debug_default) ?config db plan =
   if verify then lint_or_refuse db plan;
   let it = iterator ?config db plan in
-  rows_of db plan (Iterator.to_list it)
+  rows_of plan (Iterator.to_list it)
 
 type io_report = {
   seq_reads : int;
   rand_reads : int;
+  writes : int;
   buffer_hits : int;
+  buffer_misses : int;
+  buffer_evictions : int;
   rows : int;
   simulated_seconds : float;
 }
+
+(* A random read decomposes into settle/transfer (the assembly floor)
+   plus seek time scaled by the actual arm travel, so elevator-ordered
+   fetch patterns are measurably cheaper. Writes (spill partitions) are
+   sequential. *)
+let simulated_seconds_of (config : Config.t) (d : Disk.stats) =
+  (float_of_int d.Disk.seq_reads *. config.Config.seq_io)
+  +. (float_of_int d.Disk.rand_reads *. config.Config.asm_io_floor)
+  +. (d.Disk.seek_units *. (config.Config.rand_io -. config.Config.asm_io_floor))
+  +. (float_of_int d.Disk.writes *. config.Config.seq_io)
+
+let report_of ~(config : Config.t) ~rows (d : Disk.stats) (b : Buffer_pool.stats) =
+  { seq_reads = d.Disk.seq_reads;
+    rand_reads = d.Disk.rand_reads;
+    writes = d.Disk.writes;
+    buffer_hits = b.Buffer_pool.hits;
+    buffer_misses = b.Buffer_pool.misses;
+    buffer_evictions = b.Buffer_pool.evictions;
+    rows;
+    simulated_seconds = simulated_seconds_of config d }
 
 let run_measured ?verify ?(config = Config.default) db plan =
   let store = Db.store db in
@@ -96,22 +122,11 @@ let run_measured ?verify ?(config = Config.default) db plan =
   let rows = run ?verify ~config db plan in
   let d = Disk.stats (Store.disk store) in
   let b = Buffer_pool.stats (Store.buffer store) in
-  let report =
-    { seq_reads = d.Disk.seq_reads;
-      rand_reads = d.Disk.rand_reads;
-      buffer_hits = b.Buffer_pool.hits;
-      rows = List.length rows;
-      simulated_seconds =
-        (* a random read decomposes into settle/transfer (the assembly
-           floor) plus seek time scaled by the actual arm travel, so
-           elevator-ordered fetch patterns are measurably cheaper *)
-        (float_of_int d.Disk.seq_reads *. config.Config.seq_io)
-        +. (float_of_int d.Disk.rand_reads *. config.Config.asm_io_floor)
-        +. (d.Disk.seek_units *. (config.Config.rand_io -. config.Config.asm_io_floor))
-        +. (float_of_int d.Disk.writes *. config.Config.seq_io) }
-  in
-  (rows, report)
+  (rows, report_of ~config ~rows:(List.length rows) d b)
 
 let pp_report ppf r =
-  Format.fprintf ppf "rows=%d io: %d seq + %d rand (%d buffer hits), ~%.2fs simulated disk"
-    r.rows r.seq_reads r.rand_reads r.buffer_hits r.simulated_seconds
+  Format.fprintf ppf
+    "rows=%d io: %d seq + %d rand + %d write (buffer: %d hit / %d miss / %d evict), ~%.2fs \
+     simulated disk"
+    r.rows r.seq_reads r.rand_reads r.writes r.buffer_hits r.buffer_misses r.buffer_evictions
+    r.simulated_seconds

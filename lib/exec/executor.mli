@@ -9,8 +9,25 @@ type row = (string * Value.t) list
 (** One result tuple: projected name/value pairs, or binding/[Ref] pairs
     for plans without a root projection. *)
 
-val iterator : ?config:Config.t -> Db.t -> Engine.plan -> Iterator.t
-(** Build the iterator tree for a physical plan. *)
+val iterator :
+  ?config:Config.t ->
+  ?wrap:(Engine.plan -> Iterator.t -> Iterator.t) ->
+  Db.t ->
+  Engine.plan ->
+  Iterator.t
+(** Build the iterator tree for a physical plan. [wrap] is applied to
+    every node's iterator as it is built (children before parents, and
+    {e inside} the in-memory trim the parent applies), receiving the plan
+    node it implements — the hook the per-operator profiler
+    ({!Oodb_obs.Profile}) uses to interpose counting iterators. The
+    default is the identity: no per-tuple indirection is added when no
+    wrapper is requested. *)
+
+val rows_of : Engine.plan -> Env.t list -> row list
+(** Extract result rows from drained environments: a root Alg-Project
+    evaluates its expressions; any other root yields binding/OID pairs.
+    Exposed so drivers that build their own iterator (e.g. the
+    per-operator profiler) extract rows the same way {!run} does. *)
 
 val run : ?verify:bool -> ?config:Config.t -> Db.t -> Engine.plan -> row list
 (** Execute to completion and extract result rows. [verify] runs the
@@ -22,12 +39,30 @@ val run : ?verify:bool -> ?config:Config.t -> Db.t -> Engine.plan -> row list
 type io_report = {
   seq_reads : int;
   rand_reads : int;
+  writes : int;
+      (** spill traffic (hash-join partitioning); priced into
+          [simulated_seconds] as sequential transfers *)
   buffer_hits : int;
+  buffer_misses : int;
+  buffer_evictions : int;
   rows : int;
   simulated_seconds : float;
       (** disk time under the cost model's per-page constants — the
           executed counterpart of the optimizer's anticipated I/O cost *)
 }
+
+val simulated_seconds_of : Config.t -> Oodb_storage.Disk.stats -> float
+(** Disk time of a traffic (delta) under the cost model's constants —
+    the pricing {!run_measured} applies to the whole query and the
+    profiler applies to per-operator deltas. *)
+
+val report_of :
+  config:Config.t ->
+  rows:int ->
+  Oodb_storage.Disk.stats ->
+  Oodb_storage.Buffer_pool.stats ->
+  io_report
+(** Assemble a report from (delta) statistics snapshots. *)
 
 val run_measured :
   ?verify:bool -> ?config:Config.t -> Db.t -> Engine.plan -> row list * io_report

@@ -1,0 +1,78 @@
+module Engine = Open_oodb.Model.Engine
+module Physical = Open_oodb.Physical
+module Logical = Oodb_algebra.Logical
+module Pred = Oodb_algebra.Pred
+module Catalog = Oodb_catalog.Catalog
+module Config = Oodb_cost.Config
+module Estimator = Oodb_cost.Estimator
+module Selectivity = Oodb_cost.Selectivity
+module Lprops = Oodb_cost.Lprops
+
+type t = { card : float; children : t list }
+
+let empty_lprops : Lprops.t = { Lprops.card = 0.; bindings = [] }
+
+(* Logical properties of each physical node, by re-deriving through the
+   logical operator(s) the algorithm implements. *)
+let node_lprops cfg cat (alg : Physical.t) (inputs : Lprops.t list) : Lprops.t =
+  let derive op ins = Estimator.derive cfg cat op ins in
+  let fallback () = match inputs with lp :: _ -> lp | [] -> empty_lprops in
+  try
+    match alg with
+    | Physical.File_scan { coll; binding } ->
+      derive (Logical.Get { coll; binding }) []
+    | Physical.Index_scan { coll; binding; index; key = _; residual; derefs } ->
+      let lp0 = derive (Logical.Get { coll; binding }) [] in
+      (* Re-apply the Mat spine the collapse consumed so the residual's
+         bindings are in scope. *)
+      let lp =
+        List.fold_left
+          (fun lp (src, field, out) ->
+            derive (Logical.Mat { src; field; out }) [ lp ])
+          lp0 derefs
+      in
+      let matches =
+        match
+          List.find_opt
+            (fun ix -> String.equal ix.Catalog.ix_name index)
+            (Catalog.indexes_on cat ~coll)
+        with
+        | Some ix ->
+          lp0.Lprops.card /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct)
+        | None -> lp0.Lprops.card
+      in
+      let sel = Selectivity.pred cfg cat ~env:lp residual in
+      { lp with Lprops.card = matches *. sel }
+    | Physical.Filter pred -> derive (Logical.Select pred) inputs
+    | Physical.Hash_join pred -> derive (Logical.Join pred) inputs
+    | Physical.Merge_join { key_l; key_r; residual } ->
+      derive (Logical.Join (Pred.atom Pred.Eq key_l key_r :: residual)) inputs
+    | Physical.Pointer_join { src; field; out; residual } ->
+      let lp = derive (Logical.Mat { src; field; out }) inputs in
+      derive (Logical.Select residual) [ lp ]
+    | Physical.Assembly { paths; window = _; warm = _ } ->
+      List.fold_left
+        (fun lp { Physical.ap_src; ap_field; ap_out } ->
+          match Lprops.find lp ap_out with
+          | Some _ -> lp (* already in scope: nothing new to materialize *)
+          | None ->
+            derive
+              (Logical.Mat { src = ap_src; field = ap_field; out = ap_out })
+              [ lp ])
+        (fallback ()) paths
+    | Physical.Alg_project pl -> derive (Logical.Project pl) inputs
+    | Physical.Alg_unnest { src; field; out } ->
+      derive (Logical.Unnest { src; field; out }) inputs
+    | Physical.Hash_union -> derive Logical.Union inputs
+    | Physical.Hash_intersect -> derive Logical.Intersect inputs
+    | Physical.Hash_difference -> derive Logical.Difference inputs
+    | Physical.Sort _ -> fallback ()
+  with _ -> fallback ()
+
+let plan ?(config = Config.default) cat p =
+  let rec build (p : Engine.plan) : Lprops.t * t =
+    let pairs = List.map build p.Engine.children in
+    let lp = node_lprops config cat p.Engine.alg (List.map fst pairs) in
+    (lp, { card = lp.Lprops.card; children = List.map snd pairs })
+  in
+  snd (build p)

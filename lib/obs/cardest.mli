@@ -1,0 +1,21 @@
+(** Estimated cardinalities for a {e physical} plan.
+
+    The optimizer's estimator ({!Oodb_cost.Estimator}) derives logical
+    properties over the logical algebra; a chosen physical plan has lost
+    that annotation. This module re-derives it by mapping each physical
+    algorithm back onto the logical operators it implements (an index
+    scan is a collapsed Select–Mat–Get spine, an assembly a stack of
+    Mats, a merge join a Join whose predicate re-adds the key-equality
+    atom) and running the same derivation — so the "est rows" column of
+    [explain --analyze] output means exactly what the optimizer believed
+    when it costed the plan. *)
+
+module Engine = Open_oodb.Model.Engine
+
+type t = { card : float; children : t list }
+(** Mirrors the plan's shape: [children] line up with [Engine.plan.children]. *)
+
+val plan : ?config:Oodb_cost.Config.t -> Oodb_catalog.Catalog.t -> Engine.plan -> t
+(** Estimates never raise: a node whose reconstruction fails (e.g. a
+    hand-built plan with out-of-scope bindings) falls back to its first
+    child's estimate, or 0 rows at a leaf. *)

@@ -1,0 +1,124 @@
+module Json = Oodb_util.Json
+
+type metric =
+  | Mcounter of int ref
+  | Mgauge of float ref
+  | Mtimer of { mutable total : float; mutable count : int; mutable max : float }
+
+type t = (string, metric) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let kind_name = function
+  | Mcounter _ -> "counter"
+  | Mgauge _ -> "gauge"
+  | Mtimer _ -> "timer"
+
+let kind_clash name got want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, used as a %s" name (kind_name got) want)
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  match Hashtbl.find_opt t name with
+  | None -> Hashtbl.replace t name (Mcounter (ref by))
+  | Some (Mcounter r) -> r := !r + by
+  | Some m -> kind_clash name m "counter"
+
+let set t name v =
+  match Hashtbl.find_opt t name with
+  | None -> Hashtbl.replace t name (Mgauge (ref v))
+  | Some (Mgauge r) -> r := v
+  | Some m -> kind_clash name m "gauge"
+
+let observe t name dt =
+  match Hashtbl.find_opt t name with
+  | None -> Hashtbl.replace t name (Mtimer { total = dt; count = 1; max = dt })
+  | Some (Mtimer tm) ->
+    tm.total <- tm.total +. dt;
+    tm.count <- tm.count + 1;
+    if dt > tm.max then tm.max <- dt
+  | Some m -> kind_clash name m "timer"
+
+let time t name f =
+  let t0 = Sys.time () in
+  let record () = observe t name (Sys.time () -. t0) in
+  match f () with
+  | v ->
+    record ();
+    v
+  | exception e ->
+    record ();
+    raise e
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Timer of { total : float; count : int; max : float }
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Mcounter r -> Counter !r
+        | Mgauge r -> Gauge !r
+        | Mtimer tm -> Timer { total = tm.total; count = tm.count; max = tm.max }
+      in
+      (name, v) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, av) ->
+      match av, find before name with
+      | v, None -> Some (name, v)
+      | Counter a, Some (Counter b) ->
+        let d = a - b in
+        if d = 0 then None else Some (name, Counter d)
+      | Gauge _, Some (Gauge _) -> Some (name, av)
+      | Timer a, Some (Timer b) ->
+        let count = a.count - b.count in
+        if count = 0 then None
+        else Some (name, Timer { total = a.total -. b.total; count; max = a.max })
+      | _, Some _ ->
+        (* Unreachable for snapshots of the same registry: a name keeps
+           its kind for the registry's lifetime. *)
+        invalid_arg (Printf.sprintf "Metrics.diff: %S changed kind" name))
+    after
+
+let scoped t f =
+  let before = snapshot t in
+  let v = f () in
+  let after = snapshot t in
+  (v, diff ~before ~after)
+
+let to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter n -> Json.Int n
+           | Gauge g -> Json.float g
+           | Timer { total; count; max } ->
+             Json.Obj
+               [ ("total", Json.float total);
+                 ("count", Json.Int count);
+                 ("max", Json.float max) ] ))
+       snap)
+
+let pp ppf snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf ppf "%s %d@." name n
+      | Gauge g -> Format.fprintf ppf "%s %g@." name g
+      | Timer { total; count; max } ->
+        Format.fprintf ppf "%s total=%.6fs count=%d max=%.6fs@." name total count max)
+    snap

@@ -1,0 +1,65 @@
+(** Metrics registry: named counters, gauges and timers with scoped
+    snapshots and JSON serialization.
+
+    A registry is a flat namespace of metrics created on first use
+    (conventionally slash-separated, e.g. ["q1/opt/groups"]). Snapshots
+    are immutable copies; [diff] subtracts two snapshots of the same
+    registry so a caller can attribute activity to a scope (a query, a
+    request, a benchmark iteration) without resetting anything — the
+    pattern {!scoped} packages. A name keeps the kind it was created
+    with; re-using it as a different kind raises, surfacing telemetry
+    bugs at the emission site instead of corrupting the report. *)
+
+module Json = Oodb_util.Json
+
+type t
+
+val create : unit -> t
+
+(** {1 Instruments} *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Counter: monotonically increasing integer. [by] defaults to 1.
+    @raise Invalid_argument if [by] is negative or the name is registered
+    with a different kind. *)
+
+val set : t -> string -> float -> unit
+(** Gauge: last-write-wins float. *)
+
+val observe : t -> string -> float -> unit
+(** Timer: record one duration in seconds; the registry accumulates
+    total, count and max. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, {!observe} its wall-clock duration under the given
+    timer name. The duration is recorded even when the thunk raises. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Timer of { total : float; count : int; max : float }
+
+type snapshot = (string * value) list
+(** Sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val find : snapshot -> string -> value option
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name delta: counters and timer totals/counts subtract (a metric
+    absent from [before] counts from zero); gauges keep their [after]
+    value (instantaneous readings have no meaningful delta); timer [max]
+    is the [after] max. Names only in [before] are dropped. *)
+
+val scoped : t -> (unit -> 'a) -> 'a * snapshot
+(** Run the thunk and return what the registry accumulated during it. *)
+
+val to_json : snapshot -> Json.t
+(** An object keyed by metric name; counters as ints, gauges as floats,
+    timers as [{"total": s, "count": n, "max": s}]. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** One ["name value"] line per metric. *)

@@ -1,0 +1,216 @@
+module Json = Oodb_util.Json
+module Engine = Open_oodb.Model.Engine
+module Physical = Open_oodb.Physical
+module Planlint = Open_oodb.Planlint
+module Config = Oodb_cost.Config
+module Disk = Oodb_storage.Disk
+module Store = Oodb_storage.Store
+module Buffer_pool = Oodb_storage.Buffer_pool
+module Db = Oodb_exec.Db
+module Executor = Oodb_exec.Executor
+module Iterator = Oodb_exec.Iterator
+
+type io = {
+  seq_reads : int;
+  rand_reads : int;
+  writes : int;
+  buffer_hits : int;
+  buffer_misses : int;
+  buffer_evictions : int;
+  seek_units : float;
+  simulated_seconds : float;
+}
+
+type node = {
+  alg : Physical.t;
+  est_rows : float;
+  actual_rows : int;
+  next_calls : int;
+  wall_seconds : float;
+  inclusive : io;
+  exclusive : io;
+  q_error : float;
+  children : node list;
+}
+
+let q_error ~est ~actual =
+  let est = Float.max est 1e-9 and actual = Float.max actual 1e-9 in
+  Float.max (est /. actual) (actual /. est)
+
+(* Mutable per-operator accumulator, one per plan node. *)
+type cell = {
+  mutable rows : int;
+  mutable nexts : int;
+  mutable wall : float;
+  mutable disk : Disk.stats;
+  mutable buf : Buffer_pool.stats;
+}
+
+let zero_disk : Disk.stats =
+  { Disk.seq_reads = 0; rand_reads = 0; seek_pages = 0; seek_units = 0.; writes = 0 }
+
+let zero_buf : Buffer_pool.stats = { Buffer_pool.hits = 0; misses = 0; evictions = 0 }
+
+let add_disk (a : Disk.stats) (b : Disk.stats) : Disk.stats =
+  { Disk.seq_reads = a.Disk.seq_reads + b.Disk.seq_reads;
+    rand_reads = a.Disk.rand_reads + b.Disk.rand_reads;
+    seek_pages = a.Disk.seek_pages + b.Disk.seek_pages;
+    seek_units = a.Disk.seek_units +. b.Disk.seek_units;
+    writes = a.Disk.writes + b.Disk.writes }
+
+let add_buf (a : Buffer_pool.stats) (b : Buffer_pool.stats) : Buffer_pool.stats =
+  { Buffer_pool.hits = a.Buffer_pool.hits + b.Buffer_pool.hits;
+    misses = a.Buffer_pool.misses + b.Buffer_pool.misses;
+    evictions = a.Buffer_pool.evictions + b.Buffer_pool.evictions }
+
+let io_of config (d : Disk.stats) (b : Buffer_pool.stats) =
+  { seq_reads = d.Disk.seq_reads;
+    rand_reads = d.Disk.rand_reads;
+    writes = d.Disk.writes;
+    buffer_hits = b.Buffer_pool.hits;
+    buffer_misses = b.Buffer_pool.misses;
+    buffer_evictions = b.Buffer_pool.evictions;
+    seek_units = d.Disk.seek_units;
+    simulated_seconds = Executor.simulated_seconds_of config d }
+
+(* The physical memo can hand the optimizer the same plan record for
+   repeated (group, property) subproblems, so one record may occur at
+   several tree positions. Profiling keys cells by physical identity of
+   the node, so give every position its own record first. *)
+let rec uniquify (p : Engine.plan) : Engine.plan =
+  { p with Engine.children = List.map uniquify p.Engine.children }
+
+let run ?(verify = false) ?(config = Config.default) db plan =
+  (if verify then
+     match Planlint.plan (Db.catalog db) plan with
+     | Ok () -> ()
+     | Error vs ->
+       invalid_arg
+         (Format.asprintf "Profile: refusing invalid plan:@.%a"
+            Planlint.pp_violations vs));
+  let plan = uniquify plan in
+  let store = Db.store db in
+  let disk = Store.disk store and buffer = Store.buffer store in
+  let cells : (Engine.plan * cell) list ref = ref [] in
+  let measure cell f =
+    let d0 = Disk.stats disk and b0 = Buffer_pool.stats buffer in
+    let t0 = Sys.time () in
+    let finish () =
+      cell.wall <- cell.wall +. (Sys.time () -. t0);
+      cell.disk <- add_disk cell.disk (Disk.sub (Disk.stats disk) d0);
+      cell.buf <- add_buf cell.buf (Buffer_pool.sub (Buffer_pool.stats buffer) b0)
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  in
+  let wrap node it =
+    let cell = { rows = 0; nexts = 0; wall = 0.; disk = zero_disk; buf = zero_buf } in
+    cells := (node, cell) :: !cells;
+    Iterator.make
+      ~open_:(fun () -> measure cell (fun () -> Iterator.open_ it))
+      ~next:(fun () ->
+        cell.nexts <- cell.nexts + 1;
+        let r = measure cell (fun () -> Iterator.next it) in
+        (match r with Some _ -> cell.rows <- cell.rows + 1 | None -> ());
+        r)
+      ~close:(fun () -> measure cell (fun () -> Iterator.close it))
+  in
+  Disk.reset_stats disk;
+  Buffer_pool.reset_stats buffer;
+  Buffer_pool.flush buffer;
+  let it = Executor.iterator ~config ~wrap db plan in
+  let envs = Iterator.to_list it in
+  let rows = Executor.rows_of plan envs in
+  let report =
+    Executor.report_of ~config ~rows:(List.length rows) (Disk.stats disk)
+      (Buffer_pool.stats buffer)
+  in
+  let est = Cardest.plan ~config (Db.catalog db) plan in
+  let cell_of node =
+    match List.find_opt (fun (n, _) -> n == node) !cells with
+    | Some (_, c) -> c
+    | None ->
+      (* A node the executor never built an iterator for (unreachable for
+         well-formed plans): report zeros. *)
+      { rows = 0; nexts = 0; wall = 0.; disk = zero_disk; buf = zero_buf }
+  in
+  let sub_io a b =
+    let d =
+      { Disk.seq_reads = a.seq_reads - b.seq_reads;
+        rand_reads = a.rand_reads - b.rand_reads;
+        seek_pages = 0;
+        seek_units = a.seek_units -. b.seek_units;
+        writes = a.writes - b.writes }
+    in
+    { seq_reads = d.Disk.seq_reads;
+      rand_reads = d.Disk.rand_reads;
+      writes = d.Disk.writes;
+      buffer_hits = a.buffer_hits - b.buffer_hits;
+      buffer_misses = a.buffer_misses - b.buffer_misses;
+      buffer_evictions = a.buffer_evictions - b.buffer_evictions;
+      seek_units = d.Disk.seek_units;
+      (* re-priced from the residual counters rather than subtracted, so
+         a leaf-heavy node can't show a float-rounding -0.000s *)
+      simulated_seconds = Executor.simulated_seconds_of config d }
+  in
+  let rec build (p : Engine.plan) (e : Cardest.t) =
+    let children = List.map2 build p.Engine.children e.Cardest.children in
+    let cell = cell_of p in
+    let inclusive = io_of config cell.disk cell.buf in
+    let exclusive =
+      List.fold_left (fun acc c -> sub_io acc c.inclusive) inclusive children
+    in
+    { alg = p.Engine.alg;
+      est_rows = e.Cardest.card;
+      actual_rows = cell.rows;
+      next_calls = cell.nexts;
+      wall_seconds = cell.wall;
+      inclusive;
+      exclusive;
+      q_error = q_error ~est:e.Cardest.card ~actual:(float_of_int cell.rows);
+      children }
+  in
+  (rows, report, build plan est)
+
+let annot n =
+  Printf.sprintf
+    "rows=%d est=%.1f q=%.2f next=%d io: %d seq + %d rand + %d write (buffer %d/%d/%d) ~%.3fs"
+    n.actual_rows n.est_rows n.q_error n.next_calls n.exclusive.seq_reads
+    n.exclusive.rand_reads n.exclusive.writes n.exclusive.buffer_hits
+    n.exclusive.buffer_misses n.exclusive.buffer_evictions
+    n.exclusive.simulated_seconds
+
+let rec tree_of n =
+  Oodb_util.Pretty.Node
+    ( Printf.sprintf "%s  [%s]" (Physical.to_string n.alg) (annot n),
+      List.map tree_of n.children )
+
+let pp ppf n = Format.pp_print_string ppf (Oodb_util.Pretty.render (tree_of n))
+
+let io_json io =
+  Json.Obj
+    [ ("seq_reads", Json.Int io.seq_reads);
+      ("rand_reads", Json.Int io.rand_reads);
+      ("writes", Json.Int io.writes);
+      ("buffer_hits", Json.Int io.buffer_hits);
+      ("buffer_misses", Json.Int io.buffer_misses);
+      ("buffer_evictions", Json.Int io.buffer_evictions);
+      ("seek_units", Json.float io.seek_units);
+      ("simulated_seconds", Json.float io.simulated_seconds) ]
+
+let rec to_json n =
+  Json.Obj
+    [ ("op", Json.String (Physical.to_string n.alg));
+      ("est_rows", Json.float n.est_rows);
+      ("actual_rows", Json.Int n.actual_rows);
+      ("next_calls", Json.Int n.next_calls);
+      ("wall_seconds", Json.float n.wall_seconds);
+      ("q_error", Json.float n.q_error);
+      ("inclusive", io_json n.inclusive);
+      ("exclusive", io_json n.exclusive);
+      ("children", Json.List (List.map to_json n.children)) ]

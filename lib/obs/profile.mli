@@ -1,0 +1,61 @@
+(** Per-operator execution profiling: [explain --analyze] for the
+    iterator tree.
+
+    {!run} executes a physical plan with a counting iterator interposed
+    at every node (via [Executor.iterator ~wrap]) and returns, besides
+    the usual rows and whole-query {!Executor.io_report}, a profile tree
+    mirroring the plan. Each node records rows produced, [next] calls,
+    CPU seconds, and I/O deltas both {e inclusive} (everything that
+    happened while the node's subtree was active — in a pull model all
+    child work happens inside the parent's open/next/close) and
+    {e exclusive} (inclusive minus the children's inclusive), so the
+    exclusive columns sum exactly to the whole-query totals. Estimated
+    cardinalities come from {!Cardest}, giving an estimated-vs-actual
+    q-error per node. *)
+
+module Json = Oodb_util.Json
+module Engine = Open_oodb.Model.Engine
+module Physical = Open_oodb.Physical
+
+type io = {
+  seq_reads : int;
+  rand_reads : int;
+  writes : int;
+  buffer_hits : int;
+  buffer_misses : int;
+  buffer_evictions : int;
+  seek_units : float;
+  simulated_seconds : float;  (** priced like {!Executor.simulated_seconds_of} *)
+}
+
+type node = {
+  alg : Physical.t;
+  est_rows : float;  (** the optimizer's estimate, re-derived by {!Cardest} *)
+  actual_rows : int;
+  next_calls : int;  (** includes the final [None]-returning call *)
+  wall_seconds : float;  (** inclusive CPU seconds ([Sys.time]) *)
+  inclusive : io;
+  exclusive : io;
+  q_error : float;  (** [max (est/actual) (actual/est)], 1.0 = perfect *)
+  children : node list;
+}
+
+val q_error : est:float -> actual:float -> float
+(** Both sides clamped to [1e-9] so empty-vs-empty is a perfect 1.0
+    rather than 0/0. *)
+
+val run :
+  ?verify:bool ->
+  ?config:Oodb_cost.Config.t ->
+  Oodb_exec.Db.t ->
+  Engine.plan ->
+  Oodb_exec.Executor.row list * Oodb_exec.Executor.io_report * node
+(** Execute like [Executor.run_measured] (statistics reset, buffer pool
+    flushed) with profiling on. [verify] (default off) runs the static
+    plan linter first. *)
+
+val pp : Format.formatter -> node -> unit
+(** The annotated plan: operator tree with
+    [rows=actual est=… q=… next=… io=…] per node (exclusive I/O). *)
+
+val to_json : node -> Json.t

@@ -1,0 +1,34 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable seen : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; seen = 0 }
+
+let capacity t = Array.length t.buf
+
+let push t x =
+  t.buf.(t.seen mod Array.length t.buf) <- Some x;
+  t.seen <- t.seen + 1
+
+let seen t = t.seen
+
+let length t = min t.seen (Array.length t.buf)
+
+let dropped t = t.seen - length t
+
+let iter f t =
+  let cap = Array.length t.buf in
+  let first = t.seen - length t in
+  for seq = first to t.seen - 1 do
+    match t.buf.(seq mod cap) with
+    | Some x -> f seq x
+    | None -> () (* unreachable: every slot below [seen] was written *)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun seq x -> acc := (seq, x) :: !acc) t;
+  List.rev !acc

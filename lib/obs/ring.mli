@@ -1,0 +1,32 @@
+(** Bounded ring buffer with global sequence numbers.
+
+    The trace sink pushes every search event here; once the buffer is
+    full the oldest events are overwritten, so memory stays bounded on
+    arbitrarily large searches while aggregate tables (which are updated
+    on the way in, before the ring) remain exact. Sequence numbers are
+    assigned from 0 in arrival order and survive wrap-around, so a
+    rendered timeline shows where its window starts. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument when the capacity is not positive. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val seen : 'a t -> int
+(** Total number of items ever pushed. *)
+
+val length : 'a t -> int
+(** Items currently retained, [min (seen t) (capacity t)]. *)
+
+val dropped : 'a t -> int
+(** [seen - length]: items overwritten by wrap-around. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** Retained items with their sequence numbers, oldest first. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Oldest first. *)

@@ -90,6 +90,9 @@ let flush t =
 
 let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
 
+let sub (a : stats) (b : stats) =
+  { hits = a.hits - b.hits; misses = a.misses - b.misses; evictions = a.evictions - b.evictions }
+
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;

@@ -30,3 +30,6 @@ val flush : t -> unit
 val stats : t -> stats
 
 val reset_stats : t -> unit
+
+val sub : stats -> stats -> stats
+(** Componentwise difference between two snapshots. *)

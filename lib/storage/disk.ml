@@ -97,3 +97,10 @@ let reset_stats t =
   t.seek_pages <- 0;
   t.seek_units <- 0.0;
   t.writes <- 0
+
+let sub (a : stats) (b : stats) =
+  { seq_reads = a.seq_reads - b.seq_reads;
+    rand_reads = a.rand_reads - b.rand_reads;
+    seek_pages = a.seek_pages - b.seek_pages;
+    seek_units = a.seek_units -. b.seek_units;
+    writes = a.writes - b.writes }

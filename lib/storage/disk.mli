@@ -59,3 +59,7 @@ val abs_page : t -> segment -> int -> int
 val stats : t -> stats
 
 val reset_stats : t -> unit
+
+val sub : stats -> stats -> stats
+(** Componentwise difference: the traffic between two snapshots — what
+    the per-operator execution profiler attributes to a plan node. *)

@@ -1,0 +1,51 @@
+(** Minimal JSON values, hand-rolled encoder and parser.
+
+    The observability layer ({!Oodb_obs}) serializes traces, profiles and
+    metrics snapshots as JSON so external tooling (CI checks, plotting,
+    regression diffing against [BENCH_results.json]) can consume them
+    without an OCaml toolchain. No third-party JSON dependency is pulled
+    in: the format needed here is small and a round-trippable subset is
+    ~200 lines.
+
+    Floats are emitted with enough digits to round-trip; non-finite
+    floats (which raw division in metrics code can produce) encode as
+    [null] rather than the invalid tokens [inf]/[nan]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order is preserved *)
+
+and t_float = float
+
+val float : float -> t
+(** [Float f], or [Null] when [f] is not finite. *)
+
+val to_string : ?minify:bool -> t -> string
+(** Render; [minify] (default [false]) drops all whitespace, otherwise
+    objects and arrays are indented two spaces per level. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty (indented) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed, anything
+    else after the value is an error). Numbers without [.], [e] or [E]
+    that fit in an OCaml [int] parse as [Int], every other number as
+    [Float]. [\uXXXX] escapes decode to UTF-8 bytes. *)
+
+(** {1 Accessors} (for tests and report post-processing) *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** Numeric value of an [Int] or [Float]. *)
+
+val to_int : t -> int option
+
+val to_list : t -> t list option

@@ -63,6 +63,24 @@ module Make (M : MODEL) = struct
     | Node of M.Op.t * build list
     | Ref of group
 
+  (* Structured search-trace events, emitted (only when a tracer is
+     installed) at exactly the points where the statistics and per-rule
+     counters increment — so any aggregation of a complete event stream
+     reproduces [stats] and [rule_counters] by construction. *)
+  type event =
+    | Group_created of { group : group }
+    | Mexpr_added of { group : group; op : M.Op.t }
+    | Groups_merged of { winner : group; loser : group }
+    | Trule_tried of { rule : string; group : group }
+    | Trule_fired of { rule : string; group : group }
+    | Irule_tried of { rule : string; group : group }
+    | Candidate_costed of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
+    | Pruned of { group : group; alg : M.Alg.t; cost : M.Cost.t; limit : M.Cost.t }
+    | Enforcer_tried of { rule : string; group : group }
+    | Enforcer_offered of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
+    | Enforcer_inserted of { group : group; alg : M.Alg.t }
+    | Phys_memo_hit of { group : group; required : M.Pprop.t }
+
   type group_data = {
     gid : int;
     mutable gexprs : mexpr list; (* reverse insertion order, canonical inputs *)
@@ -88,6 +106,9 @@ module Make (M : MODEL) = struct
     mexpr_index : (int * int list, group) Hashtbl.t; (* (op hash, inputs) is a weak key; resolved by scan *)
     ms : mutable_stats;
     rule_tbl : (string, rule_counter) Hashtbl.t;
+    tracer : (event -> unit) option;
+        (* [None] is the fast path: every emission site is a single match
+           on this field and constructs no event *)
   }
 
   let rule_counter ctx name =
@@ -146,6 +167,7 @@ module Make (M : MODEL) = struct
     ctx.n_groups <- gid + 1;
     ctx.parents.(gid) <- gid;
     ctx.groups.(gid) <- Some { gid; gexprs = []; glprop = lprop };
+    (match ctx.tracer with None -> () | Some f -> f (Group_created { group = gid }));
     gid
 
   let index_key ctx m =
@@ -191,6 +213,7 @@ module Make (M : MODEL) = struct
     let g1 = find ctx g1 and g2 = find ctx g2 in
     if g1 <> g2 then begin
       let winner, loser = if g1 < g2 then g1, g2 else g2, g1 in
+      (match ctx.tracer with None -> () | Some f -> f (Groups_merged { winner; loser }));
       let wd = group_data ctx winner and ld = group_data ctx loser in
       ctx.parents.(loser) <- winner;
       wd.gexprs <- List.filter (fun m -> not (self_referential ctx winner m)) wd.gexprs;
@@ -225,6 +248,7 @@ module Make (M : MODEL) = struct
       else begin
         gd.gexprs <- m :: gd.gexprs;
         Hashtbl.add ctx.mexpr_index (index_key ctx m) g;
+        (match ctx.tracer with None -> () | Some f -> f (Mexpr_added { group = g; op = m.mop }));
         Some (g, m)
       end
 
@@ -325,6 +349,9 @@ module Make (M : MODEL) = struct
           ctx.ms.s_trule_tried <- ctx.ms.s_trule_tried + 1;
           let counter = rule_counter ctx rule.t_name in
           counter.rc_tried <- counter.rc_tried + 1;
+          (match ctx.tracer with
+          | None -> ()
+          | Some f -> f (Trule_tried { rule = rule.t_name; group = find ctx g }));
           let builds = rule.t_apply ctx m in
           List.iter
             (fun b ->
@@ -333,7 +360,12 @@ module Make (M : MODEL) = struct
                 (* A rule asserting the whole group equals another group:
                    merge them. *)
                 let g' = intern_build spec ctx queue b in
-                if find ctx g <> find ctx g' then counter.rc_fired <- counter.rc_fired + 1;
+                if find ctx g <> find ctx g' then begin
+                  counter.rc_fired <- counter.rc_fired + 1;
+                  match ctx.tracer with
+                  | None -> ()
+                  | Some f -> f (Trule_fired { rule = rule.t_name; group = find ctx g })
+                end;
                 union ctx g g'
               | Node (op, children) ->
                 let gs =
@@ -344,6 +376,9 @@ module Make (M : MODEL) = struct
                 | Some entry ->
                   ctx.ms.s_trule_fired <- ctx.ms.s_trule_fired + 1;
                   counter.rc_fired <- counter.rc_fired + 1;
+                  (match ctx.tracer with
+                  | None -> ()
+                  | Some f -> f (Trule_fired { rule = rule.t_name; group = find ctx g }));
                   Queue.add entry queue
                 | None -> ()))
             builds)
@@ -399,6 +434,9 @@ module Make (M : MODEL) = struct
         in
         if proven_optimal then begin
           ctx.ms.s_phys_memo_hits <- ctx.ms.s_phys_memo_hits + 1;
+          (match ctx.tracer with
+          | None -> ()
+          | Some f -> f (Phys_memo_hit { group = g; required }));
           match entry.best with
           | Some p when cost_le p.cost limit -> Some p
           | Some _ | None -> None
@@ -408,6 +446,9 @@ module Make (M : MODEL) = struct
           | Some s when cost_le limit s ->
             (* already searched at least this far and found nothing *)
             ctx.ms.s_phys_memo_hits <- ctx.ms.s_phys_memo_hits + 1;
+            (match ctx.tracer with
+            | None -> ()
+            | Some f -> f (Phys_memo_hit { group = g; required }));
             (match entry.best with
             | Some p when cost_le p.cost limit -> Some p
             | Some _ | None -> None)
@@ -430,6 +471,16 @@ module Make (M : MODEL) = struct
               ctx.ms.s_candidates <- ctx.ms.s_candidates + 1;
               if M.Pprop.satisfies ~delivered:cand.cand_delivers ~required then begin
                 let limit0 = current_limit () in
+                (match ctx.tracer with
+                | None -> ()
+                | Some f ->
+                  if not (cost_le cand.cand_cost limit0) then
+                    f
+                      (Pruned
+                         { group = g;
+                           alg = cand.cand_alg;
+                           cost = cand.cand_cost;
+                           limit = limit0 }));
                 if cost_le cand.cand_cost limit0 then begin
                   let rec opt_children acc_cost acc_plans = function
                     | [] -> Some (List.rev acc_plans, acc_cost)
@@ -457,9 +508,24 @@ module Make (M : MODEL) = struct
                   (fun (ir : irule) ->
                     let counter = rule_counter ctx ir.i_name in
                     counter.rc_tried <- counter.rc_tried + 1;
+                    (match ctx.tracer with
+                    | None -> ()
+                    | Some f -> f (Irule_tried { rule = ir.i_name; group = g }));
                     let cands = ir.i_apply ctx ~required m in
                     counter.rc_fired <- counter.rc_fired + List.length cands;
-                    List.iter try_candidate cands)
+                    List.iter
+                      (fun cand ->
+                        (match ctx.tracer with
+                        | None -> ()
+                        | Some f ->
+                          f
+                            (Candidate_costed
+                               { rule = ir.i_name;
+                                 group = g;
+                                 alg = cand.cand_alg;
+                                 cost = cand.cand_cost }));
+                        try_candidate cand)
+                      cands)
                   enabled_irules)
               (group_exprs ctx g);
             (* Enforcers: achieve [required] by gluing a property-enforcing
@@ -468,15 +534,25 @@ module Make (M : MODEL) = struct
               (fun (en : enforcer) ->
                 let counter = rule_counter ctx en.e_name in
                 counter.rc_tried <- counter.rc_tried + 1;
+                (match ctx.tracer with
+                | None -> ()
+                | Some f -> f (Enforcer_tried { rule = en.e_name; group = g }));
                 let offers = en.e_apply ctx ~required g in
                 counter.rc_fired <- counter.rc_fired + List.length offers;
                 List.iter
                   (fun (alg, weaker, ecost) ->
+                    (match ctx.tracer with
+                    | None -> ()
+                    | Some f ->
+                      f (Enforcer_offered { rule = en.e_name; group = g; alg; cost = ecost }));
                     let remaining = M.Cost.sub (current_limit ()) ecost in
                     match optimize g weaker remaining with
                     | None -> ()
                     | Some sub ->
                       ctx.ms.s_enforcer_uses <- ctx.ms.s_enforcer_uses + 1;
+                      (match ctx.tracer with
+                      | None -> ()
+                      | Some f -> f (Enforcer_inserted { group = g; alg }));
                       consider
                         { alg;
                           children = [ sub ];
@@ -515,7 +591,7 @@ module Make (M : MODEL) = struct
     !n
 
   let run ?(disabled = []) ?(pruning = true) ?(initial_limit = M.Cost.infinite) ?closure_fuel
-      spec expr ~required =
+      ?trace spec expr ~required =
     let enabled name = not (List.mem name disabled) in
     let ctx =
       { parents = Array.init 64 (fun i -> i);
@@ -530,7 +606,8 @@ module Make (M : MODEL) = struct
             s_phys_memo_hits = 0;
             s_closure_steps = 0;
             s_closure_complete = true };
-        rule_tbl = Hashtbl.create 32 }
+        rule_tbl = Hashtbl.create 32;
+        tracer = trace }
     in
     let queue = Queue.create () in
     let root = intern_expr spec ctx queue expr in

@@ -94,6 +94,34 @@ module Make (M : MODEL) : sig
   type ctx
   (** Read access to the memo for rules. *)
 
+  (** Structured search-trace events for the observability layer. Events
+      are emitted at exactly the points where {!stats} and
+      {!rule_counters} increment, so aggregating a complete event stream
+      reproduces both: per rule, [tried] is the count of
+      [Trule_tried]/[Irule_tried]/[Enforcer_tried] and [fired] the count
+      of [Trule_fired]/[Candidate_costed]/[Enforcer_offered]. No events
+      are constructed when no tracer is installed (the nil-sink fast
+      path). *)
+  type event =
+    | Group_created of { group : group }
+    | Mexpr_added of { group : group; op : M.Op.t }
+    | Groups_merged of { winner : group; loser : group }
+    | Trule_tried of { rule : string; group : group }
+    | Trule_fired of { rule : string; group : group }
+        (** the transformation added a new multi-expression to the group,
+            or merged it with another group *)
+    | Irule_tried of { rule : string; group : group }
+    | Candidate_costed of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
+    | Pruned of { group : group; alg : M.Alg.t; cost : M.Cost.t; limit : M.Cost.t }
+        (** branch-and-bound: the candidate's local cost already exceeds
+            the current limit, so its inputs are never optimized *)
+    | Enforcer_tried of { rule : string; group : group }
+    | Enforcer_offered of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
+    | Enforcer_inserted of { group : group; alg : M.Alg.t }
+        (** an offer's input subplan was found within the limit, so the
+            enforcer actually entered a plan under consideration *)
+    | Phys_memo_hit of { group : group; required : M.Pprop.t }
+
   val group_lprop : ctx -> group -> M.Lprop.t
 
   val group_exprs : ctx -> group -> mexpr list
@@ -189,6 +217,7 @@ module Make (M : MODEL) : sig
     ?pruning:bool ->
     ?initial_limit:M.Cost.t ->
     ?closure_fuel:int ->
+    ?trace:(event -> unit) ->
     spec ->
     expr ->
     required:M.Pprop.t ->
@@ -203,7 +232,10 @@ module Make (M : MODEL) : sig
       [closure_fuel] bounds logical-closure work (multi-expressions
       popped); when it runs out, closure stops early and
       [stats.closure_complete] is [false] — the rule-set analyzer uses
-      this to flag non-terminating rule cycles without hanging. *)
+      this to flag non-terminating rule cycles without hanging.
+      [trace] receives every {!event} of the search as it happens (the
+      sink must not re-enter the engine); when absent, no events are
+      constructed. *)
 
   val pp_plan : Format.formatter -> plan -> unit
 
