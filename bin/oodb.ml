@@ -4,6 +4,8 @@
      oodb rules                            list togglable rule names
      oodb optimize "<zql>"                 simplify + optimize + explain
      oodb optimize --paper q1              same for a built-in paper query
+     oodb optimize --paper q1 --cache      through the plan cache (OODB_PLANCACHE_DIR)
+     oodb optimize-all --repeat 2          batch MQO over a shared memo, warm 2nd pass
      oodb memo --paper q2                  dump the memo after closure
      oodb run "<zql>" [--scale 0.1]        optimize + execute on generated data
      oodb run --paper q1 --profile         ... with per-operator profiling
@@ -26,6 +28,7 @@ module Json = Oodb_util.Json
 module Trace = Oodb_obs.Trace
 module Profile = Oodb_obs.Profile
 module Report = Oodb_obs.Report
+module Plancache = Oodb_plancache.Plancache
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -125,7 +128,7 @@ let rules_cmd =
     (Cmd.info "rules" ~doc:"List all togglable optimizer rules.")
     Term.(const (fun () -> run (); 0) $ const ())
 
-let optimize_run paper text disabled window no_pruning no_indexes trace timeline =
+let optimize_run paper text disabled window no_pruning no_indexes trace timeline cache =
   let cat = if no_indexes then OC.catalog () else OC.catalog_with_indexes () in
   match compile_query cat paper text with
   | Error m ->
@@ -134,21 +137,40 @@ let optimize_run paper text disabled window no_pruning no_indexes trace timeline
   | Ok (q, required) ->
     Format.printf "optimizer input:@.%a@.@." Logical.pp q;
     let options = options_of disabled window no_pruning in
-    let recorder = if trace then Some (Trace.create ()) else None in
-    let outcome =
-      Opt.optimize ~options ~required ?trace:(Option.map Trace.sink recorder) cat q
-    in
-    Format.printf "%s" (Opt.explain outcome);
-    (match recorder with
-    | None -> ()
-    | Some tr ->
-      Format.printf "@.search trace: %a" Trace.pp_summary tr;
-      Format.printf "@.%a" Trace.pp_rules tr;
-      Format.printf "@.per-group activity:@.%a" Trace.pp_groups tr;
-      if timeline > 0 then
-        Format.printf "@.timeline (last %d events):@.%a" timeline
-          (Trace.pp_timeline ~limit:timeline) tr);
-    0
+    if cache then begin
+      (* with OODB_PLANCACHE_DIR set, a repeat invocation serves the
+         stored plan without a search *)
+      let pc = Plancache.of_env () in
+      let o = Plancache.optimize ~options ~required pc cat q in
+      (match o.Plancache.plan with
+      | None -> Format.printf "no plan@."
+      | Some p ->
+        Format.printf "%a@.anticipated cost: %a@." Engine.pp_plan p Cost.pp p.Engine.cost);
+      Format.printf "plan cache: %s in %.6fs%s@."
+        (if o.Plancache.cached then "HIT" else "MISS (plan stored)")
+        o.Plancache.opt_seconds
+        (match Plancache.dir pc with
+        | Some d -> Printf.sprintf " (dir %s)" d
+        | None -> " (in-memory only; set OODB_PLANCACHE_DIR to persist)");
+      0
+    end
+    else begin
+      let recorder = if trace then Some (Trace.create ()) else None in
+      let outcome =
+        Opt.optimize ~options ~required ?trace:(Option.map Trace.sink recorder) cat q
+      in
+      Format.printf "%s" (Opt.explain outcome);
+      (match recorder with
+      | None -> ()
+      | Some tr ->
+        Format.printf "@.search trace: %a" Trace.pp_summary tr;
+        Format.printf "@.%a" Trace.pp_rules tr;
+        Format.printf "@.per-group activity:@.%a" Trace.pp_groups tr;
+        if timeline > 0 then
+          Format.printf "@.timeline (last %d events):@.%a" timeline
+            (Trace.pp_timeline ~limit:timeline) tr);
+      0
+    end
 
 let trace_arg =
   Arg.(
@@ -162,12 +184,72 @@ let timeline_arg =
     & info [ "timeline" ] ~docv:"N"
         ~doc:"With $(b,--trace), also print the last $(docv) events of the search timeline.")
 
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:"Route the query through the fingerprinted plan cache (honors \
+              $(b,OODB_PLANCACHE_DIR) for persistence across invocations).")
+
 let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Simplify, optimize and explain a query.")
     Term.(
       const optimize_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ no_indexes_arg $ trace_arg $ timeline_arg)
+      $ no_indexes_arg $ trace_arg $ timeline_arg $ cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize-all: the multi-query entry point                            *)
+
+let optimize_all_run papers disabled window no_pruning no_indexes repeat =
+  let cat = if no_indexes then OC.catalog () else OC.catalog_with_indexes () in
+  let queries = match papers with [] -> Oodb_workloads.Queries.all | ps -> ps in
+  let options = options_of disabled window no_pruning in
+  let pc = Plancache.of_env () in
+  for pass = 1 to max 1 repeat do
+    Format.printf "pass %d:@." pass;
+    let outcomes = Plancache.optimize_all ~options pc cat (List.map snd queries) in
+    List.iter2
+      (fun (name, _) (o : Plancache.outcome) ->
+        match o.Plancache.plan with
+        | None -> Format.printf "  %-5s no plan@." name
+        | Some p ->
+          Format.printf "  %-5s %-6s %.6fs  cost %a  (%d groups)@." name
+            (if o.Plancache.cached then "cached" else "cold")
+            o.Plancache.opt_seconds Cost.pp p.Engine.cost o.Plancache.stats.Engine.groups)
+      queries outcomes
+  done;
+  let s = Plancache.stats pc in
+  Format.printf
+    "plan cache: %d hits, %d misses, %d insertions, %d evictions (%d/%d entries)@."
+    s.Plancache.hits s.Plancache.misses s.Plancache.insertions s.Plancache.evictions
+    s.Plancache.entries s.Plancache.capacity;
+  0
+
+let papers_all_arg =
+  Arg.(
+    value
+    & opt_all (enum (List.map (fun (n, q) -> (n, (n, q))) Oodb_workloads.Queries.all)) []
+    & info [ "paper"; "p" ] ~docv:"NAME"
+        ~doc:"Add a built-in paper query to the batch (repeatable); all six when omitted.")
+
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat"; "r" ] ~docv:"N"
+        ~doc:"Optimize the batch $(docv) times; passes after the first are served from the \
+              plan cache.")
+
+let optimize_all_cmd =
+  Cmd.v
+    (Cmd.info "optimize-all"
+       ~doc:
+         "Optimize a batch of queries against one shared memo (memo-level multi-query \
+          optimization) behind the plan cache, printing per-query cost, time, and whether \
+          the plan came from the cache.")
+    Term.(
+      const optimize_all_run $ papers_all_arg $ disable_arg $ window_arg $ no_pruning_arg
+      $ no_indexes_arg $ repeat_arg)
 
 let memo_run paper text disabled =
   let cat = OC.catalog_with_indexes () in
@@ -289,7 +371,23 @@ let stats_run scale out disabled window no_pruning =
       (fun (name, q) -> Report.collect ~options ~registry db ~name q)
       Oodb_workloads.Queries.all
   in
-  let json = Report.workload_json ~registry reports in
+  (* cold-then-warm sweep through the plan cache: the second pass should
+     be all hits, and its time collapse is part of the report *)
+  let pc = Plancache.of_env () in
+  let qs = List.map snd Oodb_workloads.Queries.all in
+  let sum_opt os =
+    List.fold_left (fun acc (o : Plancache.outcome) -> acc +. o.Plancache.opt_seconds) 0. os
+  in
+  let cold = Plancache.optimize_all ~options ~registry pc (Db.catalog db) qs in
+  let warm = Plancache.optimize_all ~options ~registry pc (Db.catalog db) qs in
+  let extra =
+    [ ( "plan_cache",
+        Json.Obj
+          [ ("stats", Plancache.stats_json (Plancache.stats pc));
+            ("cold_opt_seconds", Json.float (sum_opt cold));
+            ("warm_opt_seconds", Json.float (sum_opt warm)) ] ) ]
+  in
+  let json = Report.workload_json ~registry ~extra reports in
   let text = Json.to_string json in
   (match out with
   | None -> print_endline text
@@ -418,5 +516,5 @@ let () =
   let doc = "The Open OODB query optimizer (SIGMOD 1993 reproduction)" in
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-          [ catalog_cmd; rules_cmd; optimize_cmd; memo_cmd; run_cmd; greedy_cmd; analyze_cmd;
-            stats_cmd; lint_cmd ]))
+          [ catalog_cmd; rules_cmd; optimize_cmd; optimize_all_cmd; memo_cmd; run_cmd;
+            greedy_cmd; analyze_cmd; stats_cmd; lint_cmd ]))

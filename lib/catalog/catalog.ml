@@ -22,6 +22,7 @@ type t = {
   mutable indexes : index_def list;
   distinct_tbl : (string * string, int) Hashtbl.t;
   set_size_tbl : (string * string, float) Hashtbl.t;
+  mutable epoch : int;
 }
 
 let create schema =
@@ -30,9 +31,14 @@ let create schema =
     coll_order = [];
     indexes = [];
     distinct_tbl = Hashtbl.create 32;
-    set_size_tbl = Hashtbl.create 8 }
+    set_size_tbl = Hashtbl.create 8;
+    epoch = 0 }
 
 let schema t = t.schema
+
+let epoch t = t.epoch
+
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let add_collection t co =
   if Hashtbl.mem t.colls co.co_name then
@@ -40,7 +46,8 @@ let add_collection t co =
   if Schema.find_class t.schema co.co_class = None then
     invalid_arg (Printf.sprintf "Catalog.add_collection: unknown class %s" co.co_class);
   Hashtbl.add t.colls co.co_name co;
-  t.coll_order <- co :: t.coll_order
+  t.coll_order <- co :: t.coll_order;
+  bump_epoch t
 
 let collections t = List.rev t.coll_order
 
@@ -55,11 +62,15 @@ let class_cardinality t cls =
   | [] -> None
   | cos -> Some (List.fold_left (fun acc co -> max acc co.co_card) 0 cos)
 
-let set_distinct t ~cls ~field n = Hashtbl.replace t.distinct_tbl (cls, field) n
+let set_distinct t ~cls ~field n =
+  Hashtbl.replace t.distinct_tbl (cls, field) n;
+  bump_epoch t
 
 let distinct t ~cls ~field = Hashtbl.find_opt t.distinct_tbl (cls, field)
 
-let set_avg_set_size t ~cls ~field n = Hashtbl.replace t.set_size_tbl (cls, field) n
+let set_avg_set_size t ~cls ~field n =
+  Hashtbl.replace t.set_size_tbl (cls, field) n;
+  bump_epoch t
 
 let avg_set_size t ~cls ~field =
   match Hashtbl.find_opt t.set_size_tbl (cls, field) with
@@ -71,9 +82,12 @@ let add_index t ix =
     invalid_arg (Printf.sprintf "Catalog.add_index: duplicate %s" ix.ix_name);
   if not (Hashtbl.mem t.colls ix.ix_coll) then
     invalid_arg (Printf.sprintf "Catalog.add_index: unknown collection %s" ix.ix_coll);
-  t.indexes <- t.indexes @ [ ix ]
+  t.indexes <- t.indexes @ [ ix ];
+  bump_epoch t
 
-let drop_index t name = t.indexes <- List.filter (fun i -> i.ix_name <> name) t.indexes
+let drop_index t name =
+  t.indexes <- List.filter (fun i -> i.ix_name <> name) t.indexes;
+  bump_epoch t
 
 let indexes t = t.indexes
 
@@ -81,6 +95,45 @@ let indexes_on t ~coll = List.filter (fun i -> i.ix_coll = coll) t.indexes
 
 let find_index t ~coll ~path =
   List.find_opt (fun i -> i.ix_coll = coll && i.ix_path = path) t.indexes
+
+(* Deterministic digest of everything that can change a plan: collections
+   with their statistics, index definitions, per-attribute statistics, and
+   the schema's class layout. Hash-table contents are emitted in sorted
+   order so insertion history does not leak into the digest. *)
+let digest t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun cd ->
+      add "class %s:" cd.Schema.cl_name;
+      List.iter
+        (fun a ->
+          add " %s=%s" a.Schema.a_name
+            (Format.asprintf "%a" Schema.pp_attr_ty a.Schema.a_ty))
+        cd.Schema.cl_attrs;
+      add ";")
+    (Schema.classes t.schema);
+  List.iter
+    (fun co ->
+      add "coll %s class=%s kind=%d card=%d bytes=%d;" co.co_name co.co_class
+        (match co.co_kind with Set -> 0 | Extent -> 1 | Hidden -> 2)
+        co.co_card co.co_obj_bytes)
+    (collections t);
+  List.iter
+    (fun ix ->
+      add "index %s on %s(%s) distinct=%d;" ix.ix_name ix.ix_coll
+        (String.concat "." ix.ix_path) ix.ix_distinct)
+    t.indexes;
+  let sorted_bindings tbl add_entry =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort Stdlib.compare
+    |> List.iter add_entry
+  in
+  sorted_bindings t.distinct_tbl (fun ((cls, field), n) ->
+      add "distinct %s.%s=%d;" cls field n);
+  sorted_bindings t.set_size_tbl (fun ((cls, field), n) ->
+      add "setsize %s.%s=%h;" cls field n);
+  Digest.string (Buffer.contents buf)
 
 let kind_name = function Set -> "set" | Extent -> "extent" | Hidden -> "(none)"
 

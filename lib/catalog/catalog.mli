@@ -34,6 +34,29 @@ val create : Schema.t -> t
 
 val schema : t -> Schema.t
 
+(** {1 Epochs}
+
+    A monotone counter identifying the catalog's mutation state: every
+    statistics refresh or schema-level edit ([add_collection],
+    [set_distinct], [set_avg_set_size], [add_index], [drop_index]) bumps
+    it, so cached artifacts derived from the catalog — plan-cache
+    entries in particular — can be invalidated by comparing epochs
+    instead of rescanning contents. *)
+
+val epoch : t -> int
+
+val bump_epoch : t -> unit
+(** Manual invalidation knob: force every catalog-derived cache entry
+    stale without changing any statistic. *)
+
+val digest : t -> Digest.t
+(** Deterministic digest of the catalog's contents (schema classes,
+    collections, indexes, statistics). Two catalogs built the same way —
+    even in different processes — digest equal; any mutation that bumps
+    the epoch also changes the digest unless it restored identical
+    contents. Used alongside {!epoch} in plan-cache fingerprints so
+    persisted entries survive process restarts safely. *)
+
 (** {1 Collections} *)
 
 val add_collection : t -> collection -> unit

@@ -19,12 +19,27 @@ let spec (options : Options.t) cat =
     implementations = Irules.all cfg cat;
     enforcers = Enforcers.all cfg cat }
 
-let optimize ?(options = Options.default) ?(required = Physprop.empty)
-    ?(initial_limit = Cost.infinite) ?closure_fuel ?trace cat expr =
+let prepare options cat expr =
   (match Logical.well_formed cat expr with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Optimizer.optimize: ill-formed query: %s" msg));
-  let expr = if options.Options.normalize then Argtrans.expr expr else expr in
+  if options.Options.normalize then Argtrans.expr expr else expr
+
+let lint options cat ~required plan =
+  if options.Options.verify then
+    match plan with
+    | None -> ()
+    | Some p -> (
+      match Planlint.plan ~required cat p with
+      | Ok () -> ()
+      | Error vs ->
+        invalid_arg
+          (Format.asprintf "Optimizer.optimize: winning plan fails lint:@.%a"
+             Planlint.pp_violations vs))
+
+let optimize ?(options = Options.default) ?(required = Physprop.empty)
+    ?(initial_limit = Cost.infinite) ?closure_fuel ?trace cat expr =
+  let expr = prepare options cat expr in
   let spec = spec options cat in
   let t0 = Sys.time () in
   let result =
@@ -32,21 +47,48 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty)
       ~initial_limit ?closure_fuel ?trace spec (expr_of_logical expr) ~required
   in
   let t1 = Sys.time () in
-  (if options.Options.verify then
-     match result.Engine.plan with
-     | None -> ()
-     | Some p -> (
-       match Planlint.plan ~required cat p with
-       | Ok () -> ()
-       | Error vs ->
-         invalid_arg
-           (Format.asprintf "Optimizer.optimize: winning plan fails lint:@.%a"
-              Planlint.pp_violations vs)));
+  lint options cat ~required result.Engine.plan;
   { plan = result.Engine.plan;
     stats = result.Engine.stats;
     opt_seconds = t1 -. t0;
     memo = result.Engine.ctx;
     root = result.Engine.root }
+
+let optimize_batch ?(options = Options.default) ?closure_fuel ?trace cat queries =
+  let spec = spec options cat in
+  let s =
+    Engine.session ~disabled:options.Options.disabled ~pruning:options.Options.pruning
+      ?closure_fuel ?trace spec
+  in
+  (* Register every root before solving any of them: the shared memo then
+     reaches its full logical closure once, and a subexpression two
+     queries share is physically searched exactly once. Registration time
+     is attributed to the query that caused it, so later queries' smaller
+     opt_seconds directly show the sharing. *)
+  let roots =
+    List.map
+      (fun (q, _required) ->
+        let q = prepare options cat q in
+        let t0 = Sys.time () in
+        let root = Engine.register s (expr_of_logical q) in
+        (root, Sys.time () -. t0))
+      queries
+  in
+  List.map2
+    (fun (root, register_seconds) (_q, required) ->
+      let t0 = Sys.time () in
+      let result = Engine.solve s root ~required in
+      let t1 = Sys.time () in
+      lint options cat ~required result.Engine.plan;
+      { plan = result.Engine.plan;
+        stats = result.Engine.stats;
+        opt_seconds = register_seconds +. (t1 -. t0);
+        memo = result.Engine.ctx;
+        root = result.Engine.root })
+    roots queries
+
+let optimize_all ?options ?(required = Physprop.empty) ?closure_fuel ?trace cat qs =
+  optimize_batch ?options ?closure_fuel ?trace cat (List.map (fun q -> (q, required)) qs)
 
 let plan_exn outcome =
   match outcome.plan with

@@ -4,6 +4,7 @@ type t = {
   pruning : bool;
   normalize : bool;
   verify : bool;
+  cache : bool;
 }
 
 let default =
@@ -11,7 +12,10 @@ let default =
     disabled = [ "warm-assembly" ];
     pruning = true;
     normalize = true;
-    verify = true }
+    verify = true;
+    cache = true }
+
+let without_cache t = { t with cache = false }
 
 let rule_names = Trules.names @ Irules.names @ Enforcers.names
 

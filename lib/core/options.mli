@@ -16,6 +16,11 @@ type t = {
           it (default on); {!Optimizer.optimize} raises on violations —
           an unsound rule then fails loudly instead of producing a plan
           that dereferences garbage at run time *)
+  cache : bool;
+      (** let cache-aware entry points (the [plancache] library) serve
+          and store fingerprinted plans (default on); when off they
+          bypass lookup and insertion and always optimize cold. Ignored
+          by the raw {!Optimizer.optimize}, which is always cold. *)
 }
 
 val default : t
@@ -40,3 +45,6 @@ val with_assembly_window : int -> t -> t
 (** Table 2's third row uses a window of 1. *)
 
 val with_config : Oodb_cost.Config.t -> t -> t
+
+val without_cache : t -> t
+(** Turn {!field-cache} off: cache-aware entry points always optimize cold. *)

@@ -110,11 +110,11 @@ let to_json t =
               | None -> Json.Null
               | Some p -> Profile.to_json p ) ] ) ]
 
-let workload_json ?registry reports =
+let workload_json ?registry ?(extra = []) reports =
   Json.Obj
     ([ ("schema_version", Json.Int 1);
        ("queries", Json.List (List.map to_json reports)) ]
-    @
-    match registry with
-    | None -> []
-    | Some m -> [ ("metrics", Metrics.to_json (Metrics.snapshot m)) ])
+    @ (match registry with
+      | None -> []
+      | Some m -> [ ("metrics", Metrics.to_json (Metrics.snapshot m)) ])
+    @ extra)

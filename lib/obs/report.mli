@@ -38,7 +38,10 @@ val to_json : t -> Json.t
 (** [{"name": .., "optimizer": {"stats", "opt_seconds", "cost", "plan",
     "trace"}, "execution": {"io", "profile"}}]. *)
 
-val workload_json : ?registry:Metrics.t -> t list -> Json.t
+val workload_json : ?registry:Metrics.t -> ?extra:(string * Json.t) list -> t list -> Json.t
 (** Wrap per-query records with a schema version and, when a [registry]
     is given, its metrics snapshot:
-    [{"schema_version": 1, "queries": [..], "metrics": ..}]. *)
+    [{"schema_version": 1, "queries": [..], "metrics": ..}]. [extra]
+    fields are appended at the top level — e.g. a ["plan_cache"] section
+    from the plan-cache layer, which sits above this library and so
+    serializes its own stats. *)

@@ -1,0 +1,256 @@
+module Engine = Open_oodb.Model.Engine
+module Optimizer = Open_oodb.Optimizer
+module Catalog = Oodb_catalog.Catalog
+module Logical = Oodb_algebra.Logical
+module Options = Open_oodb.Options
+module Physprop = Open_oodb.Physprop
+module Metrics = Oodb_obs.Metrics
+module Json = Oodb_util.Json
+
+type entry = {
+  e_fingerprint : string;
+  e_plan : Engine.plan option;
+  e_stats : Engine.stats;
+}
+
+type t = {
+  mem : entry Lru.t;
+  cache_dir : string option;
+  mutable disk_hits : int;
+}
+
+let default_capacity = 256
+
+let rec mkdirs d =
+  if not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let create ?(capacity = default_capacity) ?dir () =
+  Option.iter mkdirs dir;
+  { mem = Lru.create ~capacity; cache_dir = dir; disk_hits = 0 }
+
+let of_env ?capacity () =
+  match Sys.getenv_opt "OODB_PLANCACHE_DIR" with
+  | Some d when d <> "" -> create ?capacity ~dir:d ()
+  | Some _ | None -> create ?capacity ()
+
+let dir t = t.cache_dir
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                           *)
+
+(* A persisted entry is [(magic, entry)] marshalled; readers demand the
+   magic and that the entry echoes the fingerprint it is filed under, so
+   a renamed, truncated or old-format file degrades to a miss. Plans and
+   stats are pure data (no closures), which is what makes Marshal safe
+   here — the memo [ctx] is not, and is deliberately not cached. *)
+let magic = "oodb-plancache-v1"
+
+let entry_path d hex = Filename.concat d (hex ^ ".plan")
+
+let disk_read d hex =
+  let path = entry_path d hex in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let tag, (e : entry) = (Marshal.from_channel ic : string * entry) in
+          if String.equal tag magic && String.equal e.e_fingerprint hex then Some e else None)
+    with _ -> None
+
+(* Best-effort: a full disk or read-only directory must not fail the
+   query, so IO errors are swallowed and the entry just stays in memory. *)
+let disk_write d hex e =
+  let path = entry_path d hex in
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Marshal.to_channel oc (magic, e) []);
+    Sys.rename tmp path
+  with _ -> ( try Sys.remove tmp with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / insert                                                     *)
+
+let lookup t fp =
+  let hex = Fingerprint.to_hex fp in
+  match Lru.find t.mem hex with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.cache_dir with
+    | None -> None
+    | Some d -> (
+      match disk_read d hex with
+      | None -> None
+      | Some e ->
+        t.disk_hits <- t.disk_hits + 1;
+        ignore (Lru.add t.mem hex e : string option);
+        Some e))
+
+let insert_counting t fp e =
+  let hex = Fingerprint.to_hex fp in
+  let e = { e with e_fingerprint = hex } in
+  let evicted = Lru.add t.mem hex e in
+  Option.iter (fun d -> disk_write d hex e) t.cache_dir;
+  evicted
+
+let insert t fp e = ignore (insert_counting t fp e : string option)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  disk_hits : int;
+  entries : int;
+  capacity : int;
+}
+
+(* Every disk hit first registered as an in-memory miss, so the served /
+   cold split is [mem.hits + disk_hits] vs [mem.misses - disk_hits]. *)
+let stats t =
+  let c = Lru.counters t.mem in
+  { hits = c.Lru.hits + t.disk_hits;
+    misses = c.Lru.misses - t.disk_hits;
+    insertions = c.Lru.insertions;
+    evictions = c.Lru.evictions;
+    disk_hits = t.disk_hits;
+    entries = Lru.length t.mem;
+    capacity = Lru.capacity t.mem }
+
+let stats_json s =
+  Json.Obj
+    [ ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("insertions", Json.Int s.insertions);
+      ("evictions", Json.Int s.evictions);
+      ("disk_hits", Json.Int s.disk_hits);
+      ("entries", Json.Int s.entries);
+      ("capacity", Json.Int s.capacity) ]
+
+let clear t = Lru.clear t.mem
+
+(* ------------------------------------------------------------------ *)
+(* Cache-aware optimization                                            *)
+
+type outcome = {
+  plan : Engine.plan option;
+  stats : Engine.stats;
+  opt_seconds : float;
+  cached : bool;
+}
+
+(* [Group_created] fires exactly once per memo group, and creating a
+   group is the only point the engine derives logical properties — so
+   this counter is the per-call derivation count the regression tests
+   assert on (zero on a cache hit, which skips the engine entirely). *)
+let derivation_sink registry (ev : Engine.event) =
+  match ev with
+  | Engine.Group_created _ -> Metrics.incr registry "plancache/derivations"
+  | _ -> ()
+
+let mincr registry name =
+  match registry with None -> () | Some r -> Metrics.incr r name
+
+let trace_of registry = Option.map derivation_sink registry
+
+let outcome_of_cold (o : Optimizer.outcome) =
+  { plan = o.Optimizer.plan;
+    stats = o.Optimizer.stats;
+    opt_seconds = o.Optimizer.opt_seconds;
+    cached = false }
+
+let entry_of_cold hex (o : Optimizer.outcome) =
+  { e_fingerprint = hex; e_plan = o.Optimizer.plan; e_stats = o.Optimizer.stats }
+
+let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry (t : t) cat
+    expr =
+  if not options.Options.cache then begin
+    mincr registry "plancache/bypass";
+    outcome_of_cold (Optimizer.optimize ~options ~required ?trace:(trace_of registry) cat expr)
+  end
+  else begin
+    let t0 = Sys.time () in
+    let disk_before = t.disk_hits in
+    let fp = Fingerprint.make ~catalog:cat ~options ~required expr in
+    match lookup t fp with
+    | Some e ->
+      mincr registry "plancache/hit";
+      if t.disk_hits > disk_before then mincr registry "plancache/disk_hit";
+      { plan = e.e_plan; stats = e.e_stats; opt_seconds = Sys.time () -. t0; cached = true }
+    | None ->
+      mincr registry "plancache/miss";
+      let cold = Optimizer.optimize ~options ~required ?trace:(trace_of registry) cat expr in
+      let evicted = insert_counting t fp (entry_of_cold (Fingerprint.to_hex fp) cold) in
+      mincr registry "plancache/insert";
+      if Option.is_some evicted then mincr registry "plancache/eviction";
+      { (outcome_of_cold cold) with opt_seconds = Sys.time () -. t0 }
+  end
+
+let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?registry t cat qs =
+  if not options.Options.cache then begin
+    List.iter (fun _ -> mincr registry "plancache/bypass") qs;
+    List.map outcome_of_cold
+      (Optimizer.optimize_all ~options ~required ?trace:(trace_of registry) cat qs)
+  end
+  else begin
+    (* Serve hits individually; batch every miss through one shared memo
+       (memo-level MQO), then fill results back in input order. *)
+    let n = List.length qs in
+    let results : outcome option array = Array.make n None in
+    let misses =
+      List.concat
+        (List.mapi
+           (fun i q ->
+             let t0 = Sys.time () in
+             let fp = Fingerprint.make ~catalog:cat ~options ~required q in
+             match lookup t fp with
+             | Some e ->
+               mincr registry "plancache/hit";
+               results.(i) <-
+                 Some
+                   { plan = e.e_plan;
+                     stats = e.e_stats;
+                     opt_seconds = Sys.time () -. t0;
+                     cached = true };
+               []
+             | None ->
+               mincr registry "plancache/miss";
+               [ (i, q, fp, Sys.time () -. t0) ])
+           qs)
+    in
+    (match misses with
+    | [] -> ()
+    | _ :: _ ->
+      let batch =
+        Optimizer.optimize_batch ~options ?trace:(trace_of registry) cat
+          (List.map (fun (_, q, _, _) -> (q, required)) misses)
+      in
+      List.iter2
+        (fun (i, _q, fp, lookup_seconds) (o : Optimizer.outcome) ->
+          let evicted = insert_counting t fp (entry_of_cold (Fingerprint.to_hex fp) o) in
+          mincr registry "plancache/insert";
+          if Option.is_some evicted then mincr registry "plancache/eviction";
+          results.(i) <-
+            Some { (outcome_of_cold o) with opt_seconds = lookup_seconds +. o.Optimizer.opt_seconds })
+        misses batch;
+      (match registry with
+      | None -> ()
+      | Some r ->
+        Metrics.incr ~by:(List.length misses) r "plancache/mqo/roots";
+        (match List.rev batch with
+        | last :: _ -> Metrics.set r "plancache/mqo/groups" (float_of_int last.Optimizer.stats.Engine.groups)
+        | [] -> ())));
+    Array.to_list results
+    |> List.map (function Some o -> o | None -> invalid_arg "Plancache.optimize_all: unfilled slot")
+  end

@@ -1,0 +1,111 @@
+(** Bounded, fingerprint-keyed plan cache with optional disk
+    persistence, plus cache-aware optimizer entry points.
+
+    The cache stores winning physical plans (with their cost and the
+    producing search's statistics) under {!Fingerprint} keys. Because a
+    fingerprint covers the catalog epoch and content digest and every
+    plan-relevant option, invalidation is automatic: refreshing
+    statistics, editing the schema, toggling a rule or changing the cost
+    model changes the key, so stale entries can never be served — they
+    simply age out of the LRU.
+
+    Two tiers: a bounded in-memory LRU always; below it, when [dir] is
+    given (or [OODB_PLANCACHE_DIR] is set for {!of_env}), a directory of
+    marshalled entries that survives process restarts. Disk reads are
+    verified (format tag + fingerprint echo) and fall back to a cold
+    optimization on any mismatch or corruption. *)
+
+module Engine = Open_oodb.Model.Engine
+module Catalog = Oodb_catalog.Catalog
+module Logical = Oodb_algebra.Logical
+module Options = Open_oodb.Options
+module Physprop = Open_oodb.Physprop
+module Metrics = Oodb_obs.Metrics
+module Json = Oodb_util.Json
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] bounds the in-memory tier (default 256 entries). [dir] —
+    created if missing — enables the persistent tier. *)
+
+val of_env : ?capacity:int -> unit -> t
+(** {!create} with [dir] taken from the [OODB_PLANCACHE_DIR] environment
+    variable when set and non-empty; purely in-memory otherwise. This is
+    what the test suite uses, so CI can run it twice — without and with
+    a persisted cache directory — to catch cache-state leakage. *)
+
+val dir : t -> string option
+
+(** {1 Cache inspection} *)
+
+type stats = {
+  hits : int;  (** lookups served (memory or disk) *)
+  misses : int;  (** lookups that went to a cold optimization *)
+  insertions : int;
+  evictions : int;  (** in-memory LRU evictions (disk entries persist) *)
+  disk_hits : int;  (** subset of [hits] that came from the disk tier *)
+  entries : int;
+  capacity : int;
+}
+
+val stats : t -> stats
+
+val stats_json : stats -> Json.t
+
+val clear : t -> unit
+(** Empty the in-memory tier (counters and disk entries persist). *)
+
+(** {1 Entries} *)
+
+type entry = {
+  e_fingerprint : string;  (** hex of the key it was stored under *)
+  e_plan : Engine.plan option;
+  e_stats : Engine.stats;  (** statistics of the cold search that produced it *)
+}
+
+val lookup : t -> Fingerprint.t -> entry option
+(** Memory first, then disk (a disk hit is promoted into memory). *)
+
+val insert : t -> Fingerprint.t -> entry -> unit
+
+(** {1 Cache-aware optimization} *)
+
+type outcome = {
+  plan : Engine.plan option;
+  stats : Engine.stats;  (** of the producing search — cached or fresh *)
+  opt_seconds : float;  (** this call: fingerprint + lookup, or cold search *)
+  cached : bool;
+}
+
+val optimize :
+  ?options:Options.t ->
+  ?required:Physprop.t ->
+  ?registry:Metrics.t ->
+  t ->
+  Catalog.t ->
+  Logical.t ->
+  outcome
+(** [Optimizer.optimize] behind the cache: fingerprint, serve on hit,
+    optimize cold and insert on miss. When [options.cache] is off, the
+    cache is bypassed entirely (always cold, nothing stored). A hit
+    re-derives nothing — no well-formedness re-check, no logical
+    properties, no rules. When [registry] is given, increments
+    [plancache/hit], [plancache/miss], [plancache/insert],
+    [plancache/eviction], [plancache/disk_hit], [plancache/bypass] and
+    [plancache/derivations] (one per logical-property derivation, i.e.
+    per memo group created — zero on hits). *)
+
+val optimize_all :
+  ?options:Options.t ->
+  ?required:Physprop.t ->
+  ?registry:Metrics.t ->
+  t ->
+  Catalog.t ->
+  Logical.t list ->
+  outcome list
+(** The multi-query entry point: cache hits are served individually and
+    all misses are optimized together by [Optimizer.optimize_batch]
+    against one shared memo, then inserted. With [registry], also
+    records [plancache/mqo/roots] (cold roots batched) and
+    [plancache/mqo/groups] (final shared-memo group count). *)

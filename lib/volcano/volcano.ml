@@ -106,6 +106,10 @@ module Make (M : MODEL) = struct
     mexpr_index : (int * int list, group) Hashtbl.t; (* (op hash, inputs) is a weak key; resolved by scan *)
     ms : mutable_stats;
     rule_tbl : (string, rule_counter) Hashtbl.t;
+    mutable generation : int;
+        (* bumped whenever the logical memo changes (new mexpr or group
+           merge); physical-memo entries from an older generation may be
+           missing alternatives and are re-searched instead of served *)
     tracer : (event -> unit) option;
         (* [None] is the fast path: every emission site is a single match
            on this field and constructs no event *)
@@ -213,6 +217,7 @@ module Make (M : MODEL) = struct
     let g1 = find ctx g1 and g2 = find ctx g2 in
     if g1 <> g2 then begin
       let winner, loser = if g1 < g2 then g1, g2 else g2, g1 in
+      ctx.generation <- ctx.generation + 1;
       (match ctx.tracer with None -> () | Some f -> f (Groups_merged { winner; loser }));
       let wd = group_data ctx winner and ld = group_data ctx loser in
       ctx.parents.(loser) <- winner;
@@ -248,6 +253,7 @@ module Make (M : MODEL) = struct
       else begin
         gd.gexprs <- m :: gd.gexprs;
         Hashtbl.add ctx.mexpr_index (index_key ctx m) g;
+        ctx.generation <- ctx.generation + 1;
         (match ctx.tracer with None -> () | Some f -> f (Mexpr_added { group = g; op = m.mop }));
         Some (g, m)
       end
@@ -396,6 +402,7 @@ module Make (M : MODEL) = struct
     mutable best : plan option;
     mutable searched : M.Cost.t option; (* fully searched up to this limit *)
     mutable in_progress : bool;
+    mutable egen : int; (* ctx generation the entry was computed under *)
   }
 
   let cost_le a b = M.Cost.compare a b <= 0
@@ -410,18 +417,28 @@ module Make (M : MODEL) = struct
 
   module Phys_tbl = Hashtbl.Make (Phys_key)
 
-  let optimize_physical ctx ~enabled_irules ~enabled_enforcers ~pruning ~initial_limit ~root
-      ~required =
-    let memo : entry Phys_tbl.t = Phys_tbl.create 256 in
+  let optimize_physical ctx ~memo ~enabled_irules ~enabled_enforcers ~pruning ~initial_limit
+      ~root ~required =
     let find_entry g p = Phys_tbl.find_opt memo (g, p) in
     let add_entry g p e = Phys_tbl.add memo (g, p) e in
     let rec optimize g required limit =
       let g = find ctx g in
       let entry =
         match find_entry g required with
-        | Some e -> e
+        | Some e ->
+          (* The logical memo grew since this entry was searched (a later
+             root's closure added alternatives to shared groups): its
+             result may be missing cheaper plans, so re-search it. *)
+          if e.egen <> ctx.generation && not e.in_progress then begin
+            e.best <- None;
+            e.searched <- None;
+            e.egen <- ctx.generation
+          end;
+          e
         | None ->
-          let e = { best = None; searched = None; in_progress = false } in
+          let e =
+            { best = None; searched = None; in_progress = false; egen = ctx.generation }
+          in
           add_entry g required e;
           e
       in
@@ -590,8 +607,26 @@ module Make (M : MODEL) = struct
     done;
     !n
 
-  let run ?(disabled = []) ?(pruning = true) ?(initial_limit = M.Cost.infinite) ?closure_fuel
-      ?trace spec expr ~required =
+  (* A session owns one memo (logical groups plus the physical
+     (group, properties) table) shared across any number of roots: the
+     multi-query-optimization substrate. Registering a root interns its
+     expression — re-finding every group an earlier root already created
+     — and runs the logical closure over whatever is genuinely new;
+     solving runs the goal-directed physical search, whose memo entries
+     persist across roots, so a subexpression shared by two queries is
+     expanded, costed and pruned once. *)
+  type session = {
+    ss_spec : spec;
+    ss_trules : trule list;
+    ss_irules : irule list;
+    ss_enforcers : enforcer list;
+    ss_pruning : bool;
+    ss_closure_fuel : int option; (* budget over the whole session's closure steps *)
+    ss_ctx : ctx;
+    ss_phys : entry Phys_tbl.t;
+  }
+
+  let session ?(disabled = []) ?(pruning = true) ?closure_fuel ?trace spec =
     let enabled name = not (List.mem name disabled) in
     let ctx =
       { parents = Array.init 64 (fun i -> i);
@@ -607,30 +642,52 @@ module Make (M : MODEL) = struct
             s_closure_steps = 0;
             s_closure_complete = true };
         rule_tbl = Hashtbl.create 32;
+        generation = 0;
         tracer = trace }
     in
+    { ss_spec = spec;
+      ss_trules = List.filter (fun r -> enabled r.t_name) spec.transformations;
+      ss_irules = List.filter (fun r -> enabled r.i_name) spec.implementations;
+      ss_enforcers = List.filter (fun r -> enabled r.e_name) spec.enforcers;
+      ss_pruning = pruning;
+      ss_closure_fuel = closure_fuel;
+      ss_ctx = ctx;
+      ss_phys = Phys_tbl.create 256 }
+
+  let session_ctx s = s.ss_ctx
+
+  let register s expr =
+    let ctx = s.ss_ctx in
     let queue = Queue.create () in
-    let root = intern_expr spec ctx queue expr in
-    closure ?fuel:closure_fuel spec ctx queue
-      ~enabled_trules:(List.filter (fun r -> enabled r.t_name) spec.transformations);
+    let root = intern_expr s.ss_spec ctx queue expr in
+    closure ?fuel:s.ss_closure_fuel s.ss_spec ctx queue ~enabled_trules:s.ss_trules;
+    find ctx root
+
+  let snapshot_stats ctx =
+    { groups = count_groups ctx;
+      mexprs = count_mexprs ctx;
+      trule_fired = ctx.ms.s_trule_fired;
+      trule_tried = ctx.ms.s_trule_tried;
+      candidates = ctx.ms.s_candidates;
+      enforcer_uses = ctx.ms.s_enforcer_uses;
+      phys_memo_hits = ctx.ms.s_phys_memo_hits;
+      closure_steps = ctx.ms.s_closure_steps;
+      closure_complete = ctx.ms.s_closure_complete }
+
+  let solve s ?(initial_limit = M.Cost.infinite) root ~required =
+    let ctx = s.ss_ctx in
     let plan =
-      optimize_physical ctx
-        ~enabled_irules:(List.filter (fun r -> enabled r.i_name) spec.implementations)
-        ~enabled_enforcers:(List.filter (fun r -> enabled r.e_name) spec.enforcers)
-        ~pruning ~initial_limit ~root:(find ctx root) ~required
+      optimize_physical ctx ~memo:s.ss_phys ~enabled_irules:s.ss_irules
+        ~enabled_enforcers:s.ss_enforcers ~pruning:s.ss_pruning ~initial_limit
+        ~root:(find ctx root) ~required
     in
-    let stats =
-      { groups = count_groups ctx;
-        mexprs = count_mexprs ctx;
-        trule_fired = ctx.ms.s_trule_fired;
-        trule_tried = ctx.ms.s_trule_tried;
-        candidates = ctx.ms.s_candidates;
-        enforcer_uses = ctx.ms.s_enforcer_uses;
-        phys_memo_hits = ctx.ms.s_phys_memo_hits;
-        closure_steps = ctx.ms.s_closure_steps;
-        closure_complete = ctx.ms.s_closure_complete }
-    in
-    { plan; stats; root = find ctx root; ctx }
+    { plan; stats = snapshot_stats ctx; root = find ctx root; ctx }
+
+  let run ?disabled ?pruning ?(initial_limit = M.Cost.infinite) ?closure_fuel ?trace spec
+      expr ~required =
+    let s = session ?disabled ?pruning ?closure_fuel ?trace spec in
+    let root = register s expr in
+    solve s ~initial_limit root ~required
 
   let rec plan_to_tree plan =
     Pretty.Node (Format.asprintf "%a" M.Alg.pp plan.alg, List.map plan_to_tree plan.children)

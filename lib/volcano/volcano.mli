@@ -212,6 +212,45 @@ module Make (M : MODEL) : sig
     ctx : ctx;  (** memo snapshot, for inspection and tests *)
   }
 
+  type session
+  (** One memo shared across any number of query roots: the logical
+      groups {e and} the physical [(group, required-properties)] table
+      both persist across {!register}/{!solve} calls, so a subexpression
+      common to several queries is expanded by the transformation rules,
+      costed and pruned once — memo-level multi-query optimization in
+      the style of Roy et al. (SIGMOD 2000), restricted to sharing the
+      search (plans themselves are still per-root trees). *)
+
+  val session :
+    ?disabled:string list ->
+    ?pruning:bool ->
+    ?closure_fuel:int ->
+    ?trace:(event -> unit) ->
+    spec ->
+    session
+  (** Fresh session with an empty memo. [closure_fuel] is a budget over
+      the session's total closure steps (all [register] calls share it).
+      Statistics and rule counters accumulate over the session's
+      lifetime; each {!solve} result carries a snapshot. *)
+
+  val session_ctx : session -> ctx
+
+  val register : session -> expr -> group
+  (** Intern a root expression into the shared memo and run the logical
+      closure over whatever is new. Registering an expression whose every
+      node is already present adds nothing, fires no rules, and simply
+      returns the existing root group. For best sharing, register all
+      roots of a batch before solving any of them: physical-memo entries
+      computed before the logical memo grew are conservatively
+      re-searched, so interleaving register and solve costs repeated
+      search work (never a stale plan). *)
+
+  val solve : session -> ?initial_limit:M.Cost.t -> group -> required:M.Pprop.t -> result
+  (** Goal-directed physical search for a registered root. Solving the
+      same (root, required) pair again is a pure memo hit: no rules are
+      tried, no candidates costed. [result.stats] snapshots the
+      session-cumulative statistics at completion. *)
+
   val run :
     ?disabled:string list ->
     ?pruning:bool ->
