@@ -70,10 +70,20 @@ let scale_arg =
 let limit_arg =
   Arg.(value & opt int 10 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Rows to print.")
 
-let options_of disabled window no_pruning =
+let batch_size_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "batch-size"; "b" ] ~docv:"N"
+        ~doc:"Tuples per execution batch (default $(b,OODB_BATCH_SIZE) or 64; 1 = classic \
+              tuple-at-a-time Volcano).")
+
+let options_of ?batch_size disabled window no_pruning =
   let options = Options.default in
   let options = List.fold_left (fun o r -> Options.disable r o) options disabled in
   let options = match window with Some w -> Options.with_assembly_window w options | None -> options in
+  let options =
+    match batch_size with Some b -> Options.with_batch_size b options | None -> options
+  in
   { options with Options.pruning = not no_pruning }
 
 (* queries compile to a logical expression plus the required physical
@@ -269,7 +279,7 @@ let memo_cmd =
     (Cmd.info "memo" ~doc:"Dump the memo (all groups and multi-expressions) after closure.")
     Term.(const memo_run $ paper_arg $ query_pos $ disable_arg)
 
-let run_run paper text disabled window no_pruning scale limit profile =
+let run_run paper text disabled window no_pruning batch_size scale limit profile =
   let db = Oodb_workloads.Datagen.generate ~scale () in
   let cat = Db.catalog db in
   match compile_query cat paper text with
@@ -277,7 +287,7 @@ let run_run paper text disabled window no_pruning scale limit profile =
     Format.eprintf "error: %s@." m;
     1
   | Ok (q, required) ->
-    let options = options_of disabled window no_pruning in
+    let options = options_of ?batch_size disabled window no_pruning in
     let outcome = Opt.optimize ~options ~required cat q in
     let plan = Opt.plan_exn outcome in
     let rows, report =
@@ -318,7 +328,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Optimize a query and execute it on a generated database.")
     Term.(
       const run_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ scale_arg $ limit_arg $ profile_arg)
+      $ batch_size_arg $ scale_arg $ limit_arg $ profile_arg)
 
 let greedy_run paper text =
   let cat = OC.catalog_with_indexes () in

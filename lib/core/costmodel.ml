@@ -7,7 +7,7 @@ let fi = float_of_int
 
 let file_scan (cfg : Config.t) (co : Catalog.collection) =
   let pages = Config.pages cfg ~bytes:(fi co.Catalog.co_card *. fi co.Catalog.co_obj_bytes) in
-  Cost.make ~io:(pages *. cfg.Config.seq_io) ~cpu:(fi co.Catalog.co_card *. cfg.Config.cpu_tuple)
+  Cost.make ~io:(pages *. cfg.Config.seq_io) ~cpu:(fi co.Catalog.co_card *. Config.per_tuple cfg)
 
 let btree_height (cfg : Config.t) ~entries =
   let fanout = Float.max 2.0 (fi (cfg.Config.page_bytes / 16)) in
@@ -28,12 +28,12 @@ let index_scan (cfg : Config.t) ~(coll : Catalog.collection) ~matches ~residual_
     +. (matches *. cfg.Config.rand_io)
   in
   let cpu =
-    matches *. (cfg.Config.cpu_tuple +. (fi residual_atoms *. cfg.Config.cpu_pred))
+    matches *. (Config.per_tuple cfg +. (fi residual_atoms *. cfg.Config.cpu_pred))
   in
   Cost.make ~io ~cpu
 
 let filter (cfg : Config.t) ~card ~atoms =
-  Cost.cpu (card *. (cfg.Config.cpu_tuple +. (fi atoms *. cfg.Config.cpu_pred)))
+  Cost.cpu (card *. (Config.per_tuple cfg +. (fi atoms *. cfg.Config.cpu_pred)))
 
 let hash_join (cfg : Config.t) ~build_card ~build_bytes ~probe_card ~probe_bytes ~out_card
     ~atoms =
@@ -42,7 +42,7 @@ let hash_join (cfg : Config.t) ~build_card ~build_bytes ~probe_card ~probe_bytes
        toward the smaller input as the build side *)
     ((build_card *. 1.2) +. probe_card) *. cfg.Config.cpu_hash
     +. (probe_card *. fi atoms *. cfg.Config.cpu_pred)
-    +. (out_card *. cfg.Config.cpu_tuple)
+    +. (out_card *. Config.per_tuple cfg)
   in
   let io =
     if build_bytes <= fi cfg.Config.memory_bytes then 0.0
@@ -57,8 +57,8 @@ let hash_join (cfg : Config.t) ~build_card ~build_bytes ~probe_card ~probe_bytes
 
 let merge_join (cfg : Config.t) ~left_card ~right_card ~out_card ~atoms =
   Cost.cpu
-    (((left_card +. right_card) *. cfg.Config.cpu_tuple)
-    +. (out_card *. (cfg.Config.cpu_tuple +. (fi atoms *. cfg.Config.cpu_pred))))
+    (((left_card +. right_card) *. Config.per_tuple cfg)
+    +. (out_card *. (Config.per_tuple cfg +. (fi atoms *. cfg.Config.cpu_pred))))
 
 let deref_fetches cat ~target_cls ~stream_card =
   match Catalog.class_cardinality cat target_cls with
@@ -71,7 +71,7 @@ let assembly (cfg : Config.t) cat ~window ~stream_card ~targets =
     (fun acc cls ->
       let fetches = deref_fetches cat ~target_cls:cls ~stream_card in
       Cost.add acc
-        (Cost.make ~io:(fetches *. per_fetch) ~cpu:(stream_card *. cfg.Config.cpu_tuple)))
+        (Cost.make ~io:(fetches *. per_fetch) ~cpu:(stream_card *. Config.per_tuple cfg)))
     Cost.zero targets
 
 let warm_assembly (cfg : Config.t) cat ~(target_coll : Catalog.collection) ~stream_card =
@@ -82,26 +82,26 @@ let warm_assembly (cfg : Config.t) cat ~(target_coll : Catalog.collection) ~stre
   in
   Cost.make
     ~io:(pages *. cfg.Config.seq_io)
-    ~cpu:((fi target_coll.Catalog.co_card +. stream_card) *. cfg.Config.cpu_tuple)
+    ~cpu:((fi target_coll.Catalog.co_card +. stream_card) *. Config.per_tuple cfg)
 
 let pointer_join (cfg : Config.t) cat ~target_cls ~stream_card ~atoms =
   let fetches = deref_fetches cat ~target_cls ~stream_card in
   Cost.make
     ~io:(fetches *. cfg.Config.rand_io)
-    ~cpu:(stream_card *. (cfg.Config.cpu_tuple +. (fi atoms *. cfg.Config.cpu_pred)))
+    ~cpu:(stream_card *. (Config.per_tuple cfg +. (fi atoms *. cfg.Config.cpu_pred)))
 
-let alg_project (cfg : Config.t) ~card = Cost.cpu (card *. cfg.Config.cpu_tuple)
+let alg_project (cfg : Config.t) ~card = Cost.cpu (card *. Config.per_tuple cfg)
 
 let alg_unnest (cfg : Config.t) ~in_card ~out_card =
-  Cost.cpu ((in_card +. out_card) *. cfg.Config.cpu_tuple)
+  Cost.cpu ((in_card +. out_card) *. Config.per_tuple cfg)
 
 let hash_setop (cfg : Config.t) ~left_card ~right_card ~out_card =
   Cost.cpu
-    (((left_card +. right_card) *. cfg.Config.cpu_hash) +. (out_card *. cfg.Config.cpu_tuple))
+    (((left_card +. right_card) *. cfg.Config.cpu_hash) +. (out_card *. Config.per_tuple cfg))
 
 let sort (cfg : Config.t) ~card ~row_bytes =
   let n = Float.max 2.0 card in
-  let cpu = 2.0 *. n *. Float.log n /. Float.log 2.0 *. cfg.Config.cpu_tuple in
+  let cpu = 2.0 *. n *. Float.log n /. Float.log 2.0 *. Config.per_tuple cfg in
   let bytes = card *. row_bytes in
   let io =
     if bytes <= fi cfg.Config.memory_bytes then 0.0

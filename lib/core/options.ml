@@ -33,4 +33,8 @@ let with_assembly_window n t =
 let with_warm_start t =
   { t with disabled = List.filter (fun r -> r <> "warm-assembly") t.disabled }
 
+let with_batch_size n t =
+  if n < 1 then invalid_arg "Options.with_batch_size: batch size must be >= 1";
+  { t with config = { t.config with Oodb_cost.Config.batch_size = n } }
+
 let with_config config t = { t with config }

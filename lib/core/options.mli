@@ -44,6 +44,11 @@ val without_join_commutativity : t -> t
 val with_assembly_window : int -> t -> t
 (** Table 2's third row uses a window of 1. *)
 
+val with_batch_size : int -> t -> t
+(** Tuples per batch in the execution engine (and the cost model's
+    amortization term); 1 is the tuple-at-a-time protocol.
+    @raise Invalid_argument when below 1. *)
+
 val with_config : Oodb_cost.Config.t -> t -> t
 
 val without_cache : t -> t

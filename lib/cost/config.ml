@@ -5,6 +5,8 @@ type t = {
   asm_io_floor : float;
   assembly_window : int;
   cpu_tuple : float;
+  cpu_call : float;
+  batch_size : int;
   cpu_pred : float;
   cpu_hash : float;
   memory_bytes : int;
@@ -12,6 +14,16 @@ type t = {
   default_selectivity : float;
   range_selectivity : float;
 }
+
+(* The execution engine's default batch size, shared with the cost
+   model so anticipated CPU tracks the engine actually run. *)
+let default_batch_size =
+  match Sys.getenv_opt "OODB_BATCH_SIZE" with
+  | None | Some "" -> 64
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg (Printf.sprintf "OODB_BATCH_SIZE: not a positive integer: %s" s))
 
 (* Calibrated against the paper's DECstation 5000/125 era: ~20 ms
    sequential and ~30 ms random page access, ~0.5 ms of CPU per tuple per
@@ -25,12 +37,22 @@ let default =
     asm_io_floor = 0.008;
     assembly_window = 16;
     cpu_tuple = 5.0e-4;
+    cpu_call = 2.0e-4;
+    batch_size = default_batch_size;
     cpu_pred = 1.0e-4;
     cpu_hash = 5.0e-4;
     memory_bytes = 4 * 1024 * 1024;
     buffer_pages = 1024;
     default_selectivity = 0.10;
     range_selectivity = 0.33 }
+
+(* [cpu_tuple] is calibrated for the tuple-at-a-time protocol: each
+   tuple pays the operator's work plus one closure call per operator
+   boundary. Batching spreads the boundary share [cpu_call] over
+   [batch_size] tuples; at batch size 1 this is exactly [cpu_tuple]. *)
+let per_tuple t =
+  let b = float_of_int (max 1 t.batch_size) in
+  t.cpu_tuple -. t.cpu_call +. (t.cpu_call /. b)
 
 let assembly_io t ~window =
   let window = max 1 window in

@@ -15,7 +15,15 @@ type t = {
           elevator pattern removes most seek time but not rotation and
           transfer *)
   assembly_window : int;  (** default window of open references *)
-  cpu_tuple : float;  (** seconds of CPU per tuple handled by an operator *)
+  cpu_tuple : float;
+      (** seconds of CPU per tuple handled by an operator under the
+          tuple-at-a-time protocol (work plus one boundary call) *)
+  cpu_call : float;
+      (** the operator-boundary (closure-call) share of [cpu_tuple],
+          amortized over a batch by the vectorized engine *)
+  batch_size : int;
+      (** tuples per batch flowing between execution operators; 1
+          degrades to the classic Volcano tuple-at-a-time protocol *)
   cpu_pred : float;  (** seconds per predicate-atom evaluation *)
   cpu_hash : float;  (** seconds per hash-table insert or probe *)
   memory_bytes : int;  (** budget for hash tables before spilling *)
@@ -25,6 +33,18 @@ type t = {
 }
 
 val default : t
+(** [default.batch_size] honors the [OODB_BATCH_SIZE] environment
+    variable (default 64).
+    @raise Invalid_argument at module load if it is set but not a
+    positive integer. *)
+
+val default_batch_size : int
+(** What [OODB_BATCH_SIZE] resolved to. *)
+
+val per_tuple : t -> float
+(** Per-tuple CPU seconds of operator overhead with the boundary-call
+    share amortized over [batch_size]: exactly [cpu_tuple] at batch
+    size 1, approaching [cpu_tuple - cpu_call] for large batches. *)
 
 val assembly_io : t -> window:int -> float
 (** Per-fetch I/O seconds for the assembly algorithm with the given

@@ -1,0 +1,84 @@
+(* A bounded batch of tuples: a backing array plus an optional selection
+   vector. Filters refine the selection vector in place of copying the
+   backing array, so a chain of selective operators over one batch costs
+   one array of indices per filter and zero tuple copies. *)
+
+type t = {
+  data : Env.t array;
+  sel : int array option; (* live indexes into [data], in order; None = all *)
+}
+
+let empty = { data = [||]; sel = None }
+
+let of_array data = { data; sel = None }
+
+let of_list l = of_array (Array.of_list l)
+
+let length t = match t.sel with Some s -> Array.length s | None -> Array.length t.data
+
+let is_empty t = length t = 0
+
+let get t i = match t.sel with Some s -> t.data.(s.(i)) | None -> t.data.(i)
+
+let iter f t =
+  match t.sel with
+  | None -> Array.iter f t.data
+  | Some s -> Array.iter (fun i -> f t.data.(i)) s
+
+let fold f init t =
+  match t.sel with
+  | None -> Array.fold_left f init t.data
+  | Some s -> Array.fold_left (fun acc i -> f acc t.data.(i)) init s
+
+let to_list t = List.rev (fold (fun acc env -> env :: acc) [] t)
+
+(* Dense output: transformations produce fresh tuples anyway, so there is
+   nothing to share with the input's backing array. *)
+let map f t =
+  let n = length t in
+  { data = Array.init n (fun i -> f (get t i)); sel = None }
+
+let filter p t =
+  let n = length t in
+  let sel = Array.make n 0 in
+  let k = ref 0 in
+  (match t.sel with
+  | None ->
+    for i = 0 to n - 1 do
+      if p t.data.(i) then begin
+        sel.(!k) <- i;
+        incr k
+      end
+    done
+  | Some s ->
+    for i = 0 to n - 1 do
+      if p t.data.(s.(i)) then begin
+        sel.(!k) <- s.(i);
+        incr k
+      end
+    done);
+  if !k = n then t else { data = t.data; sel = Some (Array.sub sel 0 !k) }
+
+let filter_map f t =
+  let out = ref [] in
+  let n = ref 0 in
+  iter
+    (fun env ->
+      match f env with
+      | Some env' ->
+        out := env' :: !out;
+        incr n
+      | None -> ())
+    t;
+  let arr = Array.make !n Env.empty in
+  List.iteri (fun i env -> arr.(!n - 1 - i) <- env) !out;
+  { data = arr; sel = None }
+
+let drop t pos =
+  let n = length t in
+  if pos <= 0 then t
+  else if pos >= n then empty
+  else
+    match t.sel with
+    | Some s -> { data = t.data; sel = Some (Array.sub s pos (n - pos)) }
+    | None -> { data = t.data; sel = Some (Array.init (n - pos) (fun i -> pos + i)) }

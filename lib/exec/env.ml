@@ -37,4 +37,10 @@ let merge a b = a @ b
 
 let narrow t bs = List.filter (fun (b, _) -> List.mem b bs) t
 
+let demote_except t keep =
+  let demoted (b, s) = s.s_obj <> None && not (List.mem b keep) in
+  if List.exists demoted t then
+    List.map (fun ((b, s) as e) -> if demoted e then (b, { s with s_obj = None }) else e) t
+  else t
+
 let key_of t bs = List.map (fun b -> Value.Ref (oid t b)) bs

@@ -45,6 +45,11 @@ val merge : t -> t -> t
 val narrow : t -> string list -> t
 (** Keep only the listed bindings. *)
 
+val demote_except : t -> string list -> t
+(** Drop the materialized object of every binding outside the list,
+    keeping bare references; returns the tuple unchanged (physically)
+    when nothing is materialized outside it. *)
+
 val key_of : t -> string list -> Value.t list
 (** OIDs of the listed bindings — the identity key used by set
     operations. @raise Unbound *)

@@ -36,27 +36,33 @@ let rec iterator ?(config = Config.default) ?(wrap = fun _plan it -> it) db
       (Open_oodb.Physprop.Bset.elements cp.Engine.delivered.Open_oodb.Physprop.in_memory)
       it
   in
+  let bs = max 1 config.Config.batch_size in
   let it =
     match plan.Engine.alg, plan.Engine.children with
-    | Physical.File_scan { coll; binding }, [] -> Operators.file_scan db ~coll ~binding
+    | Physical.File_scan { coll; binding }, [] ->
+      Operators.file_scan db ~coll ~binding ~batch_size:bs
     | Physical.Index_scan { coll; binding; index; key; residual; derefs }, [] ->
-      Operators.index_scan db ~coll ~binding ~index ~key ~residual ~derefs
+      Operators.index_scan db ~coll ~binding ~index ~key ~residual ~derefs ~batch_size:bs
     | Physical.Filter pred, [ _ ] -> Operators.filter pred (child 0)
     | Physical.Hash_join pred, [ _; _ ] ->
       Operators.hash_join db config pred ~build:(child 0) ~probe:(child 1)
     | Physical.Merge_join { key_l; key_r; residual }, [ _; _ ] ->
-      Operators.merge_join ~key_l ~key_r ~residual ~left:(child 0) ~right:(child 1)
+      Operators.merge_join ~key_l ~key_r ~residual ~batch_size:bs ~left:(child 0)
+        ~right:(child 1)
     | Physical.Pointer_join { src; field; out; residual }, [ _ ] ->
       Operators.pointer_join db ~src ~field ~out ~residual (child 0)
     | Physical.Assembly { paths; window; warm }, [ _ ] ->
       Operators.assembly db ~paths ~window ~warm (child 0)
     | Physical.Alg_project ps, [ _ ] -> Operators.alg_project ps (child 0)
     | Physical.Alg_unnest { src; field; out }, [ _ ] ->
-      Operators.alg_unnest db ~src ~field ~out (child 0)
-    | Physical.Hash_union, [ _; _ ] -> Operators.hash_union (child 0) (child 1)
-    | Physical.Hash_intersect, [ _; _ ] -> Operators.hash_intersect (child 0) (child 1)
-    | Physical.Hash_difference, [ _; _ ] -> Operators.hash_difference (child 0) (child 1)
-    | Physical.Sort o, [ _ ] -> Operators.sort o (child 0)
+      Operators.alg_unnest db ~src ~field ~out ~batch_size:bs (child 0)
+    | Physical.Hash_union, [ _; _ ] ->
+      Operators.hash_union ~batch_size:bs (child 0) (child 1)
+    | Physical.Hash_intersect, [ _; _ ] ->
+      Operators.hash_intersect ~batch_size:bs (child 0) (child 1)
+    | Physical.Hash_difference, [ _; _ ] ->
+      Operators.hash_difference ~batch_size:bs (child 0) (child 1)
+    | Physical.Sort o, [ _ ] -> Operators.sort o ~batch_size:bs (child 0)
     | _ -> invalid_arg "Executor.iterator: malformed plan (operator arity)"
   in
   wrap plan it

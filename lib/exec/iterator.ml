@@ -1,51 +1,141 @@
+module Config = Oodb_cost.Config
+
 type t = {
   open_ : unit -> unit;
-  next : unit -> Env.t option;
+  next_batch : unit -> Batch.t option;
   close : unit -> unit;
+  (* Cursor backing the tuple-at-a-time compatibility shim. *)
+  mutable cur : Batch.t;
+  mutable pos : int;
 }
 
-let make ~open_ ~next ~close = { open_; next; close }
+let make_batched ~open_ ~next_batch ~close =
+  { open_; next_batch; close; cur = Batch.empty; pos = 0 }
 
-let open_ t = t.open_ ()
-
-let next t = t.next ()
+let open_ t =
+  t.cur <- Batch.empty;
+  t.pos <- 0;
+  t.open_ ()
 
 let close t = t.close ()
 
-let of_gen factory =
-  let gen = ref (fun () -> None) in
-  { open_ = (fun () -> gen := factory ());
-    next = (fun () -> !gen ());
-    close = (fun () -> gen := fun () -> None) }
+let next_batch t =
+  if t.pos < Batch.length t.cur then begin
+    (* hand the unconsumed remainder of the shim cursor back first *)
+    let rest = Batch.drop t.cur t.pos in
+    t.cur <- Batch.empty;
+    t.pos <- 0;
+    Some rest
+  end
+  else
+    let rec pull () =
+      match t.next_batch () with
+      | Some b when Batch.is_empty b -> pull ()
+      | r -> r
+    in
+    pull ()
 
-let of_list_thunk thunk =
-  of_gen (fun () ->
+let next t =
+  let rec go () =
+    if t.pos < Batch.length t.cur then begin
+      let env = Batch.get t.cur t.pos in
+      t.pos <- t.pos + 1;
+      Some env
+    end
+    else
+      match t.next_batch () with
+      | None -> None
+      | Some b ->
+        t.cur <- b;
+        t.pos <- 0;
+        go ()
+  in
+  go ()
+
+(* Tuple-level constructors: legacy producers batch their output up to
+   [batch_size] so downstream batch consumers still amortize. *)
+
+let batch_of_next ~batch_size next =
+  match next () with
+  | None -> None
+  | Some env ->
+    let acc = ref [ env ] in
+    let n = ref 1 in
+    let exhausted = ref false in
+    while (not !exhausted) && !n < batch_size do
+      match next () with
+      | None -> exhausted := true
+      | Some env ->
+        acc := env :: !acc;
+        incr n
+    done;
+    Some (Batch.of_list (List.rev !acc))
+
+let make ~open_ ~next ~close =
+  make_batched ~open_ ~close
+    ~next_batch:(fun () -> batch_of_next ~batch_size:Config.default_batch_size next)
+
+let of_gen ?(batch_size = Config.default_batch_size) factory =
+  let batch_size = max 1 batch_size in
+  let gen = ref (fun () -> None) in
+  make_batched
+    ~open_:(fun () -> gen := factory ())
+    ~next_batch:(fun () -> batch_of_next ~batch_size !gen)
+    ~close:(fun () -> gen := fun () -> None)
+
+let of_batch_gen factory =
+  let gen = ref (fun () -> None) in
+  make_batched
+    ~open_:(fun () -> gen := factory ())
+    ~next_batch:(fun () -> !gen ())
+    ~close:(fun () -> gen := fun () -> None)
+
+let of_list_thunk ?(batch_size = Config.default_batch_size) thunk =
+  let batch_size = max 1 batch_size in
+  of_batch_gen (fun () ->
       let remaining = ref (thunk ()) in
       fun () ->
         match !remaining with
         | [] -> None
-        | env :: rest ->
+        | l ->
+          let rec take n acc l =
+            if n = 0 then (List.rev acc, l)
+            else match l with [] -> (List.rev acc, []) | x :: rest -> take (n - 1) (x :: acc) rest
+          in
+          let chunk, rest = take batch_size [] l in
           remaining := rest;
-          Some env)
+          Some (Batch.of_list chunk))
+
+(* Drains close the iterator on the way out even when the tree raises
+   mid-stream, so a failing operator cannot leak its children's open
+   resources. The original exception wins over any secondary failure
+   raised by [close] itself. *)
+let drain_protected t f =
+  open_ t;
+  match f () with
+  | v ->
+    close t;
+    v
+  | exception e ->
+    (try close t with _ -> ());
+    raise e
 
 let to_list t =
-  open_ t;
-  let rec drain acc =
-    match next t with
-    | Some env -> drain (env :: acc)
-    | None ->
-      close t;
-      List.rev acc
-  in
-  drain []
+  drain_protected t (fun () ->
+      let rec drain acc =
+        match next_batch t with
+        | Some b -> drain (Batch.fold (fun acc env -> env :: acc) acc b)
+        | None -> List.rev acc
+      in
+      drain [])
 
 let iter f t =
-  open_ t;
-  let rec go () =
-    match next t with
-    | Some env ->
-      f env;
-      go ()
-    | None -> close t
-  in
-  go ()
+  drain_protected t (fun () ->
+      let rec go () =
+        match next_batch t with
+        | Some b ->
+          Batch.iter f b;
+          go ()
+        | None -> ()
+      in
+      go ())

@@ -7,6 +7,16 @@ module Logical = Oodb_algebra.Logical
 module Physical = Open_oodb.Physical
 module Config = Oodb_cost.Config
 
+(* [take n l] splits off the first [n] elements — how operators that
+   buffer unbounded output (joins, unnest) re-chunk it into bounded
+   batches. *)
+let take n l =
+  let rec go n acc l =
+    if n = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
+
 (* Demote slots of bindings outside [keep] to bare references. This is
    the runtime counterpart of the optimizer's delivered-properties
    vector: objects a plan node does not promise in memory are not
@@ -14,36 +24,32 @@ module Config = Oodb_cost.Config
    and any later attempt to read their fields raises
    [Env.Not_materialized], surfacing property-machinery bugs. *)
 let trim keep child =
-  let demote env =
-    List.fold_left
-      (fun acc b ->
-        match Env.lookup env b with
-        | Some { Env.s_obj = Some _; s_oid } when not (List.mem b keep) ->
-          Env.bind_ref acc b s_oid
-        | Some { Env.s_obj = Some o; _ } -> Env.bind_obj acc b o
-        | Some { Env.s_obj = None; s_oid } -> Env.bind_ref acc b s_oid
-        | None -> acc)
-      Env.empty (Env.bindings env)
-  in
-  Iterator.make
+  Iterator.make_batched
     ~open_:(fun () -> Iterator.open_ child)
-    ~next:(fun () -> Option.map demote (Iterator.next child))
+    ~next_batch:(fun () ->
+      Option.map
+        (Batch.map (fun env -> Env.demote_except env keep))
+        (Iterator.next_batch child))
     ~close:(fun () -> Iterator.close child)
 
-let file_scan db ~coll ~binding =
+let file_scan db ~coll ~binding ~batch_size =
   let store = Db.store db in
-  Iterator.of_gen (fun () ->
-      let remaining = ref (Store.oids store ~coll) in
-      fun () ->
-        match !remaining with
-        | [] -> None
-        | oid :: rest ->
-          remaining := rest;
-          Some (Env.bind_obj Env.empty binding (Store.fetch store oid)))
+  let batch_size = max 1 batch_size in
+  let pos = ref 0 in
+  Iterator.make_batched
+    ~open_:(fun () -> pos := 0)
+    ~next_batch:(fun () ->
+      match Store.scan_batch store ~coll ~pos:!pos ~n:batch_size with
+      | [||] -> None
+      | objs ->
+        pos := !pos + Array.length objs;
+        Some (Batch.of_array (Array.map (fun o -> Env.bind_obj Env.empty binding o) objs)))
+    ~close:(fun () -> ())
 
-let index_scan db ~coll ~binding ~index ~key ~residual ~derefs =
+let index_scan db ~coll ~binding ~index ~key ~residual ~derefs ~batch_size =
   ignore coll;
   let store = Db.store db in
+  let batch_size = max 1 batch_size in
   let ix =
     match Db.find_index db index with
     | Some ix -> ix
@@ -70,29 +76,39 @@ let index_scan db ~coll ~binding ~index ~key ~residual ~derefs =
         | Some oid -> Env.bind_ref env out oid
         | None -> env))
   in
-  Iterator.of_gen (fun () ->
-      let remaining = ref (Btree_index.lookup ix key) in
-      let rec pull () =
-        match !remaining with
-        | [] -> None
-        | oid :: rest ->
-          remaining := rest;
-          let env = Env.bind_obj Env.empty binding (Store.fetch store oid) in
-          if Eval.pred env residual then Some (List.fold_left apply_deref env derefs)
-          else pull ()
-      in
-      pull)
+  let pos = ref 0 in
+  (* [lookup_batch] charges the descent at pos = 0, so once it comes back
+     empty we must not probe again. *)
+  let exhausted = ref false in
+  Iterator.make_batched
+    ~open_:(fun () ->
+      pos := 0;
+      exhausted := false)
+    ~next_batch:(fun () ->
+      if !exhausted then None
+      else
+        match Btree_index.lookup_batch ix key ~pos:!pos ~n:batch_size with
+        | [] ->
+          exhausted := true;
+          None
+        | oids ->
+          pos := !pos + List.length oids;
+          let b =
+            Store.fetch_batch store oids
+            |> List.map (fun o -> Env.bind_obj Env.empty binding o)
+            |> Batch.of_list
+            |> Batch.filter (fun env -> Eval.pred env residual)
+          in
+          Some
+            (if derefs = [] then b
+             else Batch.map (fun env -> List.fold_left apply_deref env derefs) b))
+    ~close:(fun () -> ())
 
 let filter pred child =
-  Iterator.make
+  Iterator.make_batched
     ~open_:(fun () -> Iterator.open_ child)
-    ~next:(fun () ->
-      let rec pull () =
-        match Iterator.next child with
-        | None -> None
-        | Some env -> if Eval.pred env pred then Some env else pull ()
-      in
-      pull ())
+    ~next_batch:(fun () ->
+      Option.map (Batch.filter (fun env -> Eval.pred env pred)) (Iterator.next_batch child))
     ~close:(fun () -> Iterator.close child)
 
 (* ------------------------------------------------------------------ *)
@@ -144,78 +160,111 @@ let charge_spill store bytes =
 
 let hash_join db (cfg : Config.t) atoms ~build ~probe =
   let store = Db.store db in
-  Iterator.of_gen (fun () ->
-      let build_envs = Iterator.to_list build in
-      let build_scope =
-        match build_envs with [] -> [] | env :: _ -> Env.bindings env
-      in
-      let keys, residual = classify_atoms build_scope atoms in
-      let build_key env = List.map (fun (b, _) -> Eval.operand env b) keys in
-      let probe_key env = List.map (fun (_, p) -> Eval.operand env p) keys in
-      let table = Hashtbl.create (max 16 (List.length build_envs)) in
-      let build_bytes = ref 0.0 in
-      List.iter
-        (fun env ->
-          build_bytes := !build_bytes +. env_bytes store env;
-          let k = List.map Value.hash (build_key env) in
-          Hashtbl.add table k env)
-        build_envs;
-      let spilled = !build_bytes > float_of_int cfg.Config.memory_bytes in
-      if spilled then charge_spill store !build_bytes;
-      let probe_envs =
-        if spilled then begin
-          (* both sides take the extra partitioning pass *)
-          let envs = Iterator.to_list probe in
-          let bytes = List.fold_left (fun acc e -> acc +. env_bytes store e) 0.0 envs in
-          charge_spill store bytes;
-          ref (Some envs)
-        end
-        else ref None
-      in
-      let probe_next () =
-        match !probe_envs with
-        | Some [] -> None
-        | Some (e :: rest) ->
-          probe_envs := Some rest;
-          Some e
-        | None -> Iterator.next probe
-      in
-      let opened = ref (!probe_envs <> None) in
-      let pending = ref [] in
-      let rec pull () =
-        match !pending with
-        | out :: rest ->
-          pending := rest;
-          Some out
-        | [] -> (
-          if not !opened then begin
+  let batch_size = max 1 cfg.Config.batch_size in
+  let probe_open = ref false in
+  let probe_next = ref (fun () -> None) in
+  let match_probe = ref (fun (_ : Env.t) -> []) in
+  let pending = ref [] in
+  let open_ () =
+    pending := [];
+    probe_open := false;
+    let build_envs = Iterator.to_list build in
+    let build_scope =
+      match build_envs with [] -> [] | env :: _ -> Env.bindings env
+    in
+    let keys, residual = classify_atoms build_scope atoms in
+    let build_key env = List.map (fun (b, _) -> Eval.operand env b) keys in
+    let probe_key env = List.map (fun (_, p) -> Eval.operand env p) keys in
+    let build_hash env = List.map (fun (b, _) -> Value.hash (Eval.operand env b)) keys in
+    let probe_hash env = List.map (fun (_, p) -> Value.hash (Eval.operand env p)) keys in
+    let table = Hashtbl.create (max 16 (List.length build_envs)) in
+    let build_bytes = ref 0.0 in
+    List.iter
+      (fun env ->
+        build_bytes := !build_bytes +. env_bytes store env;
+        Hashtbl.add table (build_hash env) env)
+      build_envs;
+    (match_probe :=
+       fun penv ->
+         Hashtbl.find_all table (probe_hash penv)
+         |> List.filter_map (fun benv ->
+                (* re-check key values (hash collisions) and residual *)
+                let merged = Env.merge benv penv in
+                let key_ok =
+                  List.for_all2 Value.equal (build_key benv) (probe_key penv)
+                in
+                if key_ok && Eval.pred merged residual then Some merged else None));
+    let spilled = !build_bytes > float_of_int cfg.Config.memory_bytes in
+    if spilled then begin
+      charge_spill store !build_bytes;
+      (* both sides take the extra partitioning pass *)
+      let envs = Iterator.to_list probe in
+      let bytes = List.fold_left (fun acc e -> acc +. env_bytes store e) 0.0 envs in
+      charge_spill store bytes;
+      let remaining = ref envs in
+      probe_next :=
+        fun () ->
+          match !remaining with
+          | [] -> None
+          | l ->
+            let chunk, rest = take batch_size l in
+            remaining := rest;
+            Some (Batch.of_list chunk)
+    end
+    else
+      probe_next :=
+        fun () ->
+          if not !probe_open then begin
             Iterator.open_ probe;
-            opened := true
+            probe_open := true
           end;
-          match probe_next () with
-          | None -> None
-          | Some penv ->
-            let k = List.map Value.hash (probe_key penv) in
-            let matches =
-              Hashtbl.find_all table k
-              |> List.filter_map (fun benv ->
-                     (* re-check key values (hash collisions) and residual *)
-                     let merged = Env.merge benv penv in
-                     let key_ok =
-                       List.for_all2 Value.equal (build_key benv) (probe_key penv)
-                     in
-                     if key_ok && Eval.pred merged residual then Some merged else None)
-            in
-            pending := matches;
-            pull ())
-      in
-      pull)
+          Iterator.next_batch probe
+  in
+  (* Accumulate matches across probe batches until a full output batch
+     is ready: selective joins would otherwise pass tiny batches
+     downstream and forfeit the amortization. *)
+  let rec next_batch () =
+    if List.length !pending >= batch_size then begin
+      let chunk, rest = take batch_size !pending in
+      pending := rest;
+      Some (Batch.of_list chunk)
+    end
+    else
+      match !probe_next () with
+      | None ->
+        if !pending = [] then None
+        else begin
+          let chunk = !pending in
+          pending := [];
+          Some (Batch.of_list chunk)
+        end
+      | Some pbatch ->
+        (* rev_append of each (reversed-in-place) match list, un-reversed
+           once at the end: emission order is preserved without the
+           intermediate list [Batch.to_list] would build. *)
+        let matches =
+          List.rev
+            (Batch.fold (fun acc env -> List.rev_append (!match_probe env) acc) [] pbatch)
+        in
+        pending := !pending @ matches;
+        next_batch ()
+  in
+  let close () =
+    pending := [];
+    probe_next := (fun () -> None);
+    match_probe := (fun _ -> []);
+    if !probe_open then begin
+      probe_open := false;
+      Iterator.close probe
+    end
+  in
+  Iterator.make_batched ~open_ ~next_batch ~close
 
 (* ------------------------------------------------------------------ *)
 (* Merge join over sorted inputs                                        *)
 
-let merge_join ~key_l ~key_r ~residual ~left ~right =
-  Iterator.of_list_thunk (fun () ->
+let merge_join ~key_l ~key_r ~residual ~batch_size ~left ~right =
+  Iterator.of_list_thunk ~batch_size (fun () ->
       let ls = Array.of_list (Iterator.to_list left) in
       let rs = Array.of_list (Iterator.to_list right) in
       let kl env = Eval.operand env key_l and kr env = Eval.operand env key_r in
@@ -250,33 +299,37 @@ let merge_join ~key_l ~key_r ~residual ~left ~right =
 
 let pointer_join db ~src ~field ~out ~residual child =
   let store = Db.store db in
-  Iterator.make
+  Iterator.make_batched
     ~open_:(fun () -> Iterator.open_ child)
-    ~next:(fun () ->
-      let rec pull () =
-        match Iterator.next child with
-        | None -> None
-        | Some env ->
-          let target =
-            match field with
-            | None -> Some (Env.oid env src)
-            | Some f -> Value.as_ref (Store.field (Env.obj env src) f)
-          in
-          (match target with
-          | None -> pull ()
-          | Some oid ->
-            let env = Env.bind_obj env out (Store.fetch store oid) in
-            if Eval.pred env residual then Some env else pull ())
-      in
-      pull ())
+    ~next_batch:(fun () ->
+      match Iterator.next_batch child with
+      | None -> None
+      | Some b ->
+        (* Resolve the whole batch's references, then dereference them in
+           one storage call; tuples with Null references are dropped. *)
+        let pairs =
+          Batch.fold
+            (fun acc env ->
+              let target =
+                match field with
+                | None -> Some (Env.oid env src)
+                | Some f -> Value.as_ref (Store.field (Env.obj env src) f)
+              in
+              match target with None -> acc | Some oid -> (env, oid) :: acc)
+            [] b
+          |> List.rev
+        in
+        let objs = Store.fetch_batch store (List.map snd pairs) in
+        let envs = List.map2 (fun (env, _) o -> Env.bind_obj env out o) pairs objs in
+        Some (Batch.of_list envs |> Batch.filter (fun env -> Eval.pred env residual)))
     ~close:(fun () -> Iterator.close child)
 
 (* ------------------------------------------------------------------ *)
 (* Assembly: windowed, elevator-ordered dereferencing                   *)
 
 let resolve_path store (path : Physical.assembly_path) batch =
-  (* batch : Env.t array; returns the batch with [ap_out] materialized,
-     dropping tuples with Null references. *)
+  (* batch : Env.t option array; returns the batch with [ap_out]
+     materialized, dropping tuples with Null references. *)
   let refs =
     Array.map
       (fun env ->
@@ -316,45 +369,38 @@ let resolve_path store (path : Physical.assembly_path) batch =
 let assembly db ~paths ~window ?(warm = None) child =
   let store = Db.store db in
   let window = max 1 window in
-  Iterator.of_gen (fun () ->
+  let exhausted = ref false in
+  Iterator.make_batched
+    ~open_:(fun () ->
+      exhausted := false;
       (* warm start (paper Lesson 7): stream the referenced collection
          into the buffer pool before assembling, so the per-reference
          faults below become hits *)
       (match warm with
       | Some coll -> Store.scan store ~coll (fun _ -> ())
       | None -> ());
-      Iterator.open_ child;
-      let exhausted = ref false in
-      let pending = ref [] in
-      let refill () =
+      Iterator.open_ child)
+    ~next_batch:(fun () ->
+      if !exhausted then None
+      else begin
         let batch = ref [] in
         let n = ref 0 in
         while (not !exhausted) && !n < window do
           match Iterator.next child with
-          | None ->
-            exhausted := true;
-            Iterator.close child
+          | None -> exhausted := true
           | Some env ->
             batch := env :: !batch;
             incr n
         done;
-        let arr = Array.of_list (List.rev_map Option.some !batch) in
-        let arr = List.fold_left (fun arr path -> resolve_path store path arr) arr paths in
-        pending := Array.to_list arr |> List.filter_map (fun x -> x)
-      in
-      let rec pull () =
-        match !pending with
-        | env :: rest ->
-          pending := rest;
-          Some env
-        | [] ->
-          if !exhausted then None
-          else begin
-            refill ();
-            if !pending = [] && !exhausted then None else pull ()
-          end
-      in
-      pull)
+        if !batch = [] then None
+        else begin
+          let arr = Array.of_list (List.rev_map Option.some !batch) in
+          let arr = List.fold_left (fun arr path -> resolve_path store path arr) arr paths in
+          (* one output batch per assembly window *)
+          Some (Batch.of_list (Array.to_list arr |> List.filter_map Fun.id))
+        end
+      end)
+    ~close:(fun () -> Iterator.close child)
 
 (* ------------------------------------------------------------------ *)
 
@@ -362,47 +408,65 @@ let alg_project ps child =
   let used =
     List.concat_map (fun (p : Logical.proj) -> Pred.bindings_of_operand p.Logical.p_expr) ps
   in
-  Iterator.make
+  Iterator.make_batched
     ~open_:(fun () -> Iterator.open_ child)
-    ~next:(fun () -> Option.map (fun env -> Env.narrow env used) (Iterator.next child))
+    ~next_batch:(fun () ->
+      Option.map (Batch.map (fun env -> Env.narrow env used)) (Iterator.next_batch child))
     ~close:(fun () -> Iterator.close child)
 
-let alg_unnest db ~src ~field ~out child =
+let alg_unnest db ~src ~field ~out ~batch_size child =
   ignore db;
-  Iterator.of_gen (fun () ->
-      Iterator.open_ child;
-      let pending = ref [] in
-      let rec pull () =
-        match !pending with
-        | env :: rest ->
-          pending := rest;
-          Some env
-        | [] -> (
-          match Iterator.next child with
-          | None ->
-            Iterator.close child;
-            None
-          | Some env ->
-            let elements =
-              match Store.field (Env.obj env src) field with
-              | v -> Value.set_elements v
-              | exception Not_found -> []
-            in
-            pending :=
-              List.filter_map
-                (fun v -> Option.map (fun oid -> Env.bind_ref env out oid) (Value.as_ref v))
-                elements;
-            pull ())
-      in
-      pull)
+  let batch_size = max 1 batch_size in
+  let pending = ref [] in
+  (* Same accumulation as the hash join: expansions of successive child
+     batches coalesce into full output batches. *)
+  let rec next_batch () =
+    if List.length !pending >= batch_size then begin
+      let chunk, rest = take batch_size !pending in
+      pending := rest;
+      Some (Batch.of_list chunk)
+    end
+    else
+      match Iterator.next_batch child with
+      | None ->
+        if !pending = [] then None
+        else begin
+          let chunk = !pending in
+          pending := [];
+          Some (Batch.of_list chunk)
+        end
+      | Some b ->
+        pending :=
+          !pending
+          @ List.concat_map
+              (fun env ->
+                let elements =
+                  match Store.field (Env.obj env src) field with
+                  | v -> Value.set_elements v
+                  | exception Not_found -> []
+                in
+                List.filter_map
+                  (fun v -> Option.map (fun oid -> Env.bind_ref env out oid) (Value.as_ref v))
+                  elements)
+              (Batch.to_list b);
+        next_batch ()
+  in
+  Iterator.make_batched
+    ~open_:(fun () ->
+      pending := [];
+      Iterator.open_ child)
+    ~next_batch
+    ~close:(fun () ->
+      pending := [];
+      Iterator.close child)
 
 (* ------------------------------------------------------------------ *)
 (* Set operations (by tuple identity: the OIDs of all bindings)         *)
 
 let env_key env = Env.key_of env (Env.bindings env)
 
-let hash_union left right =
-  Iterator.of_list_thunk (fun () ->
+let hash_union ~batch_size left right =
+  Iterator.of_list_thunk ~batch_size (fun () ->
       let seen = Hashtbl.create 64 in
       let emit acc env =
         let k = env_key env in
@@ -416,8 +480,8 @@ let hash_union left right =
       let acc = List.fold_left emit acc (Iterator.to_list right) in
       List.rev acc)
 
-let hash_intersect left right =
-  Iterator.of_list_thunk (fun () ->
+let hash_intersect ~batch_size left right =
+  Iterator.of_list_thunk ~batch_size (fun () ->
       let rights = Hashtbl.create 64 in
       List.iter (fun env -> Hashtbl.replace rights (env_key env) ()) (Iterator.to_list right);
       let seen = Hashtbl.create 64 in
@@ -430,8 +494,8 @@ let hash_intersect left right =
              (Hashtbl.add seen k ();
               true)))
 
-let hash_difference left right =
-  Iterator.of_list_thunk (fun () ->
+let hash_difference ~batch_size left right =
+  Iterator.of_list_thunk ~batch_size (fun () ->
       let rights = Hashtbl.create 64 in
       List.iter (fun env -> Hashtbl.replace rights (env_key env) ()) (Iterator.to_list right);
       let seen = Hashtbl.create 64 in
@@ -444,12 +508,12 @@ let hash_difference left right =
              (Hashtbl.add seen k ();
               true)))
 
-let sort (o : Open_oodb.Physprop.order) child =
+let sort (o : Open_oodb.Physprop.order) ~batch_size child =
   let key env =
     match o.Open_oodb.Physprop.ord_field with
     | Some f -> Eval.operand env (Pred.Field (o.Open_oodb.Physprop.ord_binding, f))
     | None -> Value.Ref (Env.oid env o.Open_oodb.Physprop.ord_binding)
   in
-  Iterator.of_list_thunk (fun () ->
+  Iterator.of_list_thunk ~batch_size (fun () ->
       Iterator.to_list child
       |> List.stable_sort (fun a b -> Value.compare (key a) (key b)))

@@ -1,8 +1,12 @@
 (** Execution operators: one constructor per physical algorithm.
 
-    All operators are {!Iterator.t} factories. Disk and buffer traffic is
-    charged through the {!Db.t}'s store, so runs can be compared with the
-    optimizer's anticipated costs. *)
+    All operators are {!Iterator.t} factories producing and consuming
+    {!Batch.t}s (the vectorized protocol; see {!Iterator}). Operators
+    that control their own output granularity take a [batch_size];
+    setting it to 1 degrades the engine to tuple-at-a-time behavior
+    with identical row streams and I/O charges. Disk and buffer traffic
+    is charged through the {!Db.t}'s store, so runs can be compared
+    with the optimizer's anticipated costs. *)
 
 module Value = Oodb_storage.Value
 module Pred = Oodb_algebra.Pred
@@ -14,11 +18,14 @@ val trim : string list -> Iterator.t -> Iterator.t
 (** Demote slots of bindings outside the list to bare references — the
     runtime counterpart of a plan node's delivered in-memory properties. *)
 
-val file_scan : Db.t -> coll:string -> binding:string -> Iterator.t
+val file_scan : Db.t -> coll:string -> binding:string -> batch_size:int -> Iterator.t
+(** Reads [batch_size] objects per storage call ({!Store.scan_batch}),
+    paying buffer-pool traffic per page range instead of per object. *)
 
 val index_scan :
   Db.t -> coll:string -> binding:string -> index:string -> key:Value.t ->
-  residual:Pred.t -> derefs:(string * string option * string) list -> Iterator.t
+  residual:Pred.t -> derefs:(string * string option * string) list ->
+  batch_size:int -> Iterator.t
 (** [derefs] are the collapsed Mat links whose output references the scan
     re-emits. @raise Invalid_argument when the physical index is missing. *)
 
@@ -32,7 +39,7 @@ val hash_join : Db.t -> Config.t -> Pred.t -> build:Iterator.t -> probe:Iterator
 
 val merge_join :
   key_l:Pred.operand -> key_r:Pred.operand -> residual:Pred.t ->
-  left:Iterator.t -> right:Iterator.t -> Iterator.t
+  batch_size:int -> left:Iterator.t -> right:Iterator.t -> Iterator.t
 (** Both inputs must arrive ordered on their key (ensured by the
     optimizer's order property). Handles duplicate key blocks on both
     sides. *)
@@ -53,12 +60,14 @@ val alg_project : Logical.proj list -> Iterator.t -> Iterator.t
 (** Narrows tuples to the bindings the projections mention; row
     construction happens in {!Executor.run}. *)
 
-val alg_unnest : Db.t -> src:string -> field:string -> out:string -> Iterator.t -> Iterator.t
+val alg_unnest :
+  Db.t -> src:string -> field:string -> out:string -> batch_size:int ->
+  Iterator.t -> Iterator.t
 
-val hash_union : Iterator.t -> Iterator.t -> Iterator.t
+val hash_union : batch_size:int -> Iterator.t -> Iterator.t -> Iterator.t
 
-val hash_intersect : Iterator.t -> Iterator.t -> Iterator.t
+val hash_intersect : batch_size:int -> Iterator.t -> Iterator.t -> Iterator.t
 
-val hash_difference : Iterator.t -> Iterator.t -> Iterator.t
+val hash_difference : batch_size:int -> Iterator.t -> Iterator.t -> Iterator.t
 
-val sort : Open_oodb.Physprop.order -> Iterator.t -> Iterator.t
+val sort : Open_oodb.Physprop.order -> batch_size:int -> Iterator.t -> Iterator.t

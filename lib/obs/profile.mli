@@ -4,8 +4,12 @@
     {!run} executes a physical plan with a counting iterator interposed
     at every node (via [Executor.iterator ~wrap]) and returns, besides
     the usual rows and whole-query {!Executor.io_report}, a profile tree
-    mirroring the plan. Each node records rows produced, [next] calls,
-    CPU seconds, and I/O deltas both {e inclusive} (everything that
+    mirroring the plan. The interposition is per {e batch}, matching the
+    vectorized protocol, so profiling overhead amortizes exactly like
+    the engine's own call overhead; rows are counted by summing batch
+    lengths and the I/O deltas remain exact (they are differences of
+    global counters). Each node records rows produced, [next_batch]
+    calls, CPU seconds, and I/O deltas both {e inclusive} (everything that
     happened while the node's subtree was active — in a pull model all
     child work happens inside the parent's open/next/close) and
     {e exclusive} (inclusive minus the children's inclusive), so the
@@ -32,7 +36,7 @@ type node = {
   alg : Physical.t;
   est_rows : float;  (** the optimizer's estimate, re-derived by {!Cardest} *)
   actual_rows : int;
-  next_calls : int;  (** includes the final [None]-returning call *)
+  batches : int;  (** [next_batch] calls, including the final [None] *)
   wall_seconds : float;  (** inclusive CPU seconds ([Sys.time]) *)
   inclusive : io;
   exclusive : io;
@@ -56,6 +60,6 @@ val run :
 
 val pp : Format.formatter -> node -> unit
 (** The annotated plan: operator tree with
-    [rows=actual est=… q=… next=… io=…] per node (exclusive I/O). *)
+    [rows=actual est=… q=… batches=… io=…] per node (exclusive I/O). *)
 
 val to_json : node -> Json.t

@@ -198,9 +198,10 @@ let emit_required buf rename (p : Physprop.t) =
 let emit_options buf (o : Options.t) =
   let c = o.Options.config in
   Printf.ksprintf (Buffer.add_string buf)
-    "options{config:%d,%h,%h,%h,%d,%h,%h,%h,%d,%d,%h,%h|disabled:%s|pruning:%b|normalize:%b}"
+    "options{config:%d,%h,%h,%h,%d,%h,%h,%d,%h,%h,%d,%d,%h,%h|disabled:%s|pruning:%b|normalize:%b}"
     c.Config.page_bytes c.Config.seq_io c.Config.rand_io c.Config.asm_io_floor
-    c.Config.assembly_window c.Config.cpu_tuple c.Config.cpu_pred c.Config.cpu_hash
+    c.Config.assembly_window c.Config.cpu_tuple c.Config.cpu_call c.Config.batch_size
+    c.Config.cpu_pred c.Config.cpu_hash
     c.Config.memory_bytes c.Config.buffer_pages c.Config.default_selectivity
     c.Config.range_selectivity
     (String.concat ","

@@ -117,6 +117,33 @@ let lookup t key =
   charge_leaves t first last;
   slice t first last
 
+let lookup_batch t key ~pos ~n =
+  if pos < 0 then invalid_arg "Btree_index.lookup_batch: negative position";
+  if n < 1 then invalid_arg "Btree_index.lookup_batch: batch size must be >= 1";
+  let first = lower_bound t key in
+  let last = upper_bound t key in
+  (* Charge the root-to-leaf descent only on the first slice; later
+     slices resume from the leaf the previous one ended on.  Summed over
+     a full drain the charges are exactly [lookup]'s. *)
+  if pos = 0 then
+    charge_descent t
+      (if Array.length t.entries = 0 then 0
+       else min first (Array.length t.entries - 1) / t.leaf_fanout);
+  let a = first + pos in
+  let b = min last (a + n) in
+  if a >= b then []
+  else begin
+    let buffer = Store.buffer t.store in
+    let start_leaf =
+      if pos = 0 then (a / t.leaf_fanout) + 1
+      else max (a / t.leaf_fanout) (((a - 1) / t.leaf_fanout) + 1)
+    in
+    for leaf = start_leaf to (b - 1) / t.leaf_fanout do
+      Buffer_pool.read buffer t.seg leaf
+    done;
+    slice t a b
+  end
+
 let lookup_range t ~lo ~hi =
   let first = match lo with Some v -> lower_bound t v | None -> 0 in
   let last = match hi with Some v -> upper_bound t v | None -> Array.length t.entries in

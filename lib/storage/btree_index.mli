@@ -36,5 +36,12 @@ val leaf_pages : t -> int
 val lookup : t -> Value.t -> Value.oid list
 (** Equality probe. *)
 
+val lookup_batch : t -> Value.t -> pos:int -> n:int -> Value.oid list
+(** Equality probe, one batch at a time: matches [\[pos, pos+n)] of the
+    full match list in key order, [\[\]] once exhausted. The descent is
+    charged only at [pos = 0] and each leaf page exactly once across a
+    full drain, so the summed I/O of the slices equals one {!lookup}.
+    @raise Invalid_argument on negative [pos] or [n < 1]. *)
+
 val lookup_range : t -> lo:Value.t option -> hi:Value.t option -> Value.oid list
 (** Inclusive range scan; [None] bounds are open ends. *)

@@ -56,6 +56,19 @@ val field : obj -> string -> Value.t
 val scan : t -> coll:string -> (obj -> unit) -> unit
 (** Sequential scan in physical order, charging each page once. *)
 
+val scan_batch : t -> coll:string -> pos:int -> n:int -> obj array
+(** The batch read path of the vectorized engine: objects in slots
+    [\[pos, pos+n)] (clipped to the collection) in physical order, with
+    one buffer-pool interaction per page the range spans rather than
+    one per object. Empty when [pos] is past the end; with [n = 1] the
+    charges are exactly {!fetch}'s.
+    @raise Invalid_argument on negative [pos] or [n < 1]. *)
+
+val fetch_batch : t -> Value.oid list -> obj list
+(** Dereference a batch of OIDs in one storage call, charging per
+    object exactly what {!fetch} charges. @raise Not_found on dangling
+    OIDs. *)
+
 val oids : t -> coll:string -> Value.oid list
 (** Members in physical order, free of charge. *)
 

@@ -18,7 +18,12 @@ let test_file_scan () =
   (* Employees: 50,000 x 250 B = 3,052 pages sequential + per-tuple CPU *)
   let c = Costmodel.file_scan cfg (co "Employees") in
   Alcotest.(check (float 0.5)) "io" (3052.0 *. cfg.Config.seq_io) c.Cost.io;
-  Alcotest.(check (float 1e-6)) "cpu" (50_000.0 *. cfg.Config.cpu_tuple) c.Cost.cpu
+  Alcotest.(check (float 1e-6)) "cpu" (50_000.0 *. Config.per_tuple cfg) c.Cost.cpu;
+  (* at batch size 1 the amortized rate degrades to exactly the old
+     tuple-at-a-time charge *)
+  let tup = { cfg with Config.batch_size = 1 } in
+  Alcotest.(check (float 1e-12)) "batch 1 = cpu_tuple" cfg.Config.cpu_tuple
+    (Config.per_tuple tup)
 
 let test_btree_height () =
   Alcotest.(check int) "small index" 1 (Costmodel.btree_height cfg ~entries:100.0);

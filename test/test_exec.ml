@@ -65,7 +65,7 @@ let test_eval () =
 
 let test_file_scan_counts () =
   let d = db () in
-  let it = Operators.file_scan d ~coll:"Cities" ~binding:"c" in
+  let it = Operators.file_scan d ~coll:"Cities" ~binding:"c" ~batch_size:8 in
   let envs = Iterator.to_list it in
   Alcotest.(check int) "all cities" (Store.cardinality (Db.store d) ~coll:"Cities")
     (List.length envs)
@@ -78,7 +78,7 @@ let test_index_scan_equals_filter () =
   let key = Store.field (Store.peek store t0) "time" in
   let via_index =
     Iterator.to_list
-      (Operators.index_scan d ~coll:"Tasks" ~binding:"t" ~index:"tasks_time" ~key ~residual:[] ~derefs:[])
+      (Operators.index_scan d ~coll:"Tasks" ~binding:"t" ~index:"tasks_time" ~key ~residual:[] ~derefs:[] ~batch_size:8)
     |> List.map (fun e -> Env.oid e "t")
     |> List.sort compare
   in
@@ -86,7 +86,7 @@ let test_index_scan_equals_filter () =
     Iterator.to_list
       (Operators.filter
          [ Pred.atom Pred.Eq (Pred.Field ("t", "time")) (Pred.Const key) ]
-         (Operators.file_scan d ~coll:"Tasks" ~binding:"t"))
+         (Operators.file_scan d ~coll:"Tasks" ~binding:"t" ~batch_size:8))
     |> List.map (fun e -> Env.oid e "t")
     |> List.sort compare
   in
@@ -99,7 +99,7 @@ let test_assembly_materializes () =
     Operators.assembly d
       ~paths:[ { Physical.ap_src = "c"; ap_field = Some "mayor"; ap_out = "m" } ]
       ~window:4
-      (Operators.file_scan d ~coll:"Cities" ~binding:"c")
+      (Operators.file_scan d ~coll:"Cities" ~binding:"c" ~batch_size:8)
   in
   let envs = Iterator.to_list it in
   Alcotest.(check int) "cardinality preserved" (Store.cardinality (Db.store d) ~coll:"Cities")
@@ -117,7 +117,7 @@ let test_assembly_window_sizes_agree () =
     Operators.assembly d
       ~paths:[ { Physical.ap_src = "c"; ap_field = Some "mayor"; ap_out = "m" } ]
       ~window
-      (Operators.file_scan d ~coll:"Cities" ~binding:"c")
+      (Operators.file_scan d ~coll:"Cities" ~binding:"c" ~batch_size:8)
     |> Iterator.to_list
     |> List.map (fun e -> (Env.oid e "c", Env.oid e "m"))
   in
@@ -127,8 +127,8 @@ let test_unnest () =
   let d = db () in
   let store = Db.store d in
   let it =
-    Operators.alg_unnest d ~src:"t" ~field:"team_members" ~out:"m"
-      (Operators.file_scan d ~coll:"Tasks" ~binding:"t")
+    Operators.alg_unnest d ~src:"t" ~field:"team_members" ~out:"m" ~batch_size:8
+      (Operators.file_scan d ~coll:"Tasks" ~binding:"t" ~batch_size:8)
   in
   let envs = Iterator.to_list it in
   let expected =
@@ -150,15 +150,15 @@ let test_hash_join_equals_pointer_join () =
   let link = Pred.atom Pred.Eq (Pred.Field ("e", "dept")) (Pred.Self "d") in
   let hash =
     Operators.hash_join d Oodb_cost.Config.default [ link ]
-      ~build:(Operators.file_scan d ~coll:"Departments" ~binding:"d")
-      ~probe:(Operators.file_scan d ~coll:"Employees" ~binding:"e")
+      ~build:(Operators.file_scan d ~coll:"Departments" ~binding:"d" ~batch_size:8)
+      ~probe:(Operators.file_scan d ~coll:"Employees" ~binding:"e" ~batch_size:8)
     |> Iterator.to_list
     |> List.map (fun env -> (Env.oid env "e", Env.oid env "d"))
     |> List.sort compare
   in
   let pointer =
     Operators.pointer_join d ~src:"e" ~field:(Some "dept") ~out:"d" ~residual:[]
-      (Operators.file_scan d ~coll:"Employees" ~binding:"e")
+      (Operators.file_scan d ~coll:"Employees" ~binding:"e" ~batch_size:8)
     |> Iterator.to_list
     |> List.map (fun env -> (Env.oid env "e", Env.oid env "d"))
     |> List.sort compare
@@ -172,8 +172,8 @@ let test_hash_join_residual () =
   let residual = Pred.atom Pred.Ge (Pred.Field ("e", "age")) (Pred.Const (Value.Int 40)) in
   let rows =
     Operators.hash_join d Oodb_cost.Config.default [ link; residual ]
-      ~build:(Operators.file_scan d ~coll:"Departments" ~binding:"d")
-      ~probe:(Operators.file_scan d ~coll:"Employees" ~binding:"e")
+      ~build:(Operators.file_scan d ~coll:"Departments" ~binding:"d" ~batch_size:8)
+      ~probe:(Operators.file_scan d ~coll:"Employees" ~binding:"e" ~batch_size:8)
     |> Iterator.to_list
   in
   List.iter
@@ -185,7 +185,7 @@ let test_hash_join_residual () =
 
 let test_setops () =
   let d = db () in
-  let scan () = Operators.file_scan d ~coll:"Countries" ~binding:"n" in
+  let scan () = Operators.file_scan d ~coll:"Countries" ~binding:"n" ~batch_size:8 in
   let filter lo it =
     Operators.filter [ Pred.atom Pred.Ge (Pred.Self "n") (Pred.Const (Value.Ref lo)) ] it
   in
@@ -194,12 +194,12 @@ let test_setops () =
   let mid = List.nth oids (List.length oids / 2) in
   let n_all = List.length oids in
   let high () = filter mid (scan ()) in
-  let union = Iterator.to_list (Operators.hash_union (scan ()) (high ())) in
+  let union = Iterator.to_list (Operators.hash_union ~batch_size:8 (scan ()) (high ())) in
   Alcotest.(check int) "union dedups" n_all (List.length union);
-  let inter = Iterator.to_list (Operators.hash_intersect (scan ()) (high ())) in
+  let inter = Iterator.to_list (Operators.hash_intersect ~batch_size:8 (scan ()) (high ())) in
   let n_high = List.length (Iterator.to_list (high ())) in
   Alcotest.(check int) "intersection" n_high (List.length inter);
-  let diff = Iterator.to_list (Operators.hash_difference (scan ()) (high ())) in
+  let diff = Iterator.to_list (Operators.hash_difference ~batch_size:8 (scan ()) (high ())) in
   Alcotest.(check int) "difference" (n_all - n_high) (List.length diff)
 
 let test_sort () =
@@ -207,7 +207,8 @@ let test_sort () =
   let it =
     Operators.sort
       { Physprop.ord_binding = "n"; ord_field = Some "name" }
-      (Operators.file_scan d ~coll:"Countries" ~binding:"n")
+      ~batch_size:8
+      (Operators.file_scan d ~coll:"Countries" ~binding:"n" ~batch_size:8)
   in
   let names =
     Iterator.to_list it |> List.map (fun env -> Store.field (Env.obj env "n") "name")
@@ -218,7 +219,7 @@ let test_sort () =
 let test_trim_enforces_properties () =
   let d = db () in
   (* a scan trimmed to nothing must raise on field access *)
-  let it = Operators.trim [] (Operators.file_scan d ~coll:"Cities" ~binding:"c") in
+  let it = Operators.trim [] (Operators.file_scan d ~coll:"Cities" ~binding:"c" ~batch_size:8) in
   Iterator.open_ it;
   (match Iterator.next it with
   | Some env ->
@@ -226,6 +227,33 @@ let test_trim_enforces_properties () =
         ignore (Env.obj env "c"))
   | None -> Alcotest.fail "no tuples");
   Iterator.close it
+
+(* A failing operator must not leak its children: [Iterator.to_list]
+   (the executor's drain) closes the whole tree before re-raising. The
+   spy records whether the scan underneath the exploding filter got its
+   [close]. *)
+let test_failing_predicate_closes_tree () =
+  let d = db () in
+  let closed = ref false in
+  let inner = Operators.file_scan d ~coll:"Cities" ~binding:"c" ~batch_size:4 in
+  let spy =
+    Iterator.make_batched
+      ~open_:(fun () ->
+        closed := false;
+        Iterator.open_ inner)
+      ~next_batch:(fun () -> Iterator.next_batch inner)
+      ~close:(fun () ->
+        closed := true;
+        Iterator.close inner)
+  in
+  (* the predicate references an unbound binding, so evaluation raises *)
+  let boom =
+    [ Pred.atom Pred.Eq (Pred.Field ("zzz", "f")) (Pred.Const (Value.Int 1)) ]
+  in
+  let it = Operators.filter boom spy in
+  Alcotest.check_raises "predicate raises" (Env.Unbound "zzz") (fun () ->
+      ignore (Iterator.to_list it));
+  Alcotest.(check bool) "scan closed despite exception" true !closed
 
 (* ------------------------------------------------------------------ *)
 (* Executor on optimizer output                                         *)
@@ -319,7 +347,9 @@ let () =
           Alcotest.test_case "hash join residual" `Quick test_hash_join_residual;
           Alcotest.test_case "set operations" `Quick test_setops;
           Alcotest.test_case "sort" `Quick test_sort;
-          Alcotest.test_case "trim enforces properties" `Quick test_trim_enforces_properties ] );
+          Alcotest.test_case "trim enforces properties" `Quick test_trim_enforces_properties;
+          Alcotest.test_case "exception closes iterator tree" `Quick
+            test_failing_predicate_closes_tree ] );
       ( "executor",
         [ Alcotest.test_case "measured runs reset stats" `Quick test_run_measured_resets;
           Alcotest.test_case "all paper queries execute" `Quick test_all_queries_execute;

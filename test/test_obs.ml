@@ -214,29 +214,36 @@ let sum_exclusive prof =
 
 let test_profile_deltas_sum_to_totals () =
   let db = Lazy.force Helpers.small_db in
+  (* The telescoping invariant must hold for any batch granularity: per
+     tuple (size 1) and vectorized (size 64) runs both measure per
+     next_batch, and the exclusive deltas still sum exactly. *)
   List.iter
-    (fun (name, q) ->
-      let outcome = Opt.optimize (Db.catalog db) q in
-      let plan = Opt.plan_exn outcome in
-      let rows, report, prof = Profile.run db plan in
-      let sq, rr, w, bh, bm, be, sim = sum_exclusive prof in
-      let lbl s = Printf.sprintf "%s: %s" name s in
-      Alcotest.(check int) (lbl "rows") (List.length rows) report.Executor.rows;
-      Alcotest.(check int) (lbl "seq reads") report.Executor.seq_reads sq;
-      Alcotest.(check int) (lbl "rand reads") report.Executor.rand_reads rr;
-      Alcotest.(check int) (lbl "writes") report.Executor.writes w;
-      Alcotest.(check int) (lbl "buffer hits") report.Executor.buffer_hits bh;
-      Alcotest.(check int) (lbl "buffer misses") report.Executor.buffer_misses bm;
-      Alcotest.(check int) (lbl "buffer evictions") report.Executor.buffer_evictions be;
-      Alcotest.(check (float 1e-6))
-        (lbl "simulated seconds") report.Executor.simulated_seconds sim;
-      (* profiling must not perturb results or measured totals *)
-      let rows', report' = Executor.run_measured db plan in
-      Helpers.check_same_rows (lbl "same rows as unprofiled run") rows' rows;
-      Alcotest.(check int)
-        (lbl "same seq reads as unprofiled run")
-        report'.Executor.seq_reads report.Executor.seq_reads)
-    [ ("q1", Q.q1); ("q2", Q.q2); ("q3", Q.q3); ("q4", Q.q4) ]
+    (fun batch_size ->
+      let config = { Oodb_cost.Config.default with Oodb_cost.Config.batch_size } in
+      List.iter
+        (fun (name, q) ->
+          let outcome = Opt.optimize (Db.catalog db) q in
+          let plan = Opt.plan_exn outcome in
+          let rows, report, prof = Profile.run ~config db plan in
+          let sq, rr, w, bh, bm, be, sim = sum_exclusive prof in
+          let lbl s = Printf.sprintf "%s (batch %d): %s" name batch_size s in
+          Alcotest.(check int) (lbl "rows") (List.length rows) report.Executor.rows;
+          Alcotest.(check int) (lbl "seq reads") report.Executor.seq_reads sq;
+          Alcotest.(check int) (lbl "rand reads") report.Executor.rand_reads rr;
+          Alcotest.(check int) (lbl "writes") report.Executor.writes w;
+          Alcotest.(check int) (lbl "buffer hits") report.Executor.buffer_hits bh;
+          Alcotest.(check int) (lbl "buffer misses") report.Executor.buffer_misses bm;
+          Alcotest.(check int) (lbl "buffer evictions") report.Executor.buffer_evictions be;
+          Alcotest.(check (float 1e-6))
+            (lbl "simulated seconds") report.Executor.simulated_seconds sim;
+          (* profiling must not perturb results or measured totals *)
+          let rows', report' = Executor.run_measured ~config db plan in
+          Helpers.check_same_rows (lbl "same rows as unprofiled run") rows' rows;
+          Alcotest.(check int)
+            (lbl "same seq reads as unprofiled run")
+            report'.Executor.seq_reads report.Executor.seq_reads)
+        [ ("q1", Q.q1); ("q2", Q.q2); ("q3", Q.q3); ("q4", Q.q4) ])
+    [ 1; 64 ]
 
 let test_profile_qerror_perfect () =
   (* After refreshing catalog statistics from the stored data, a bare

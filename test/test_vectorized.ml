@@ -1,0 +1,226 @@
+(* Differential testing of the vectorized execution engine.
+
+   Batch size is an execution knob, never a semantic one: the same plan
+   must produce the same row multiset at every batch size, with size 1
+   degrading to the classic tuple-at-a-time engine. This suite checks
+   that invariant over the paper workload on two catalogs and over a
+   seeded random query population (the same generator walk the plan
+   cache's fuzz uses), verifying every optimized plan with the static
+   checker before executing it. *)
+
+module Value = Oodb_storage.Value
+module Pred = Oodb_algebra.Pred
+module Logical = Oodb_algebra.Logical
+module Config = Oodb_cost.Config
+module Db = Oodb_exec.Db
+module Executor = Oodb_exec.Executor
+module Opt = Open_oodb.Optimizer
+module Verify = Oodb_verify.Verify
+module Prng = Oodb_util.Prng
+module Q = Oodb_workloads.Queries
+
+let batch_sizes = [ 1; 7; 64; 1024 ]
+
+let config_of batch_size = { Config.default with Config.batch_size }
+
+let run_at db plan batch_size =
+  Executor.run ~config:(config_of batch_size) db plan
+
+let check_plan name cat plan =
+  match Verify.plan cat plan with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "%s: plan fails verification:@.%a" name Verify.pp_violations vs
+
+(* Same rows at every batch size, with batch 1 as the reference. *)
+let check_batch_invariance name db plan =
+  check_plan name (Db.catalog db) plan;
+  let reference = run_at db plan 1 in
+  List.iter
+    (fun bs ->
+      Helpers.check_same_rows
+        (Printf.sprintf "%s: batch %d == batch 1" name bs)
+        reference (run_at db plan bs))
+    (List.filter (fun bs -> bs <> 1) batch_sizes)
+
+let test_workload_batch_invariance_small () =
+  let db = Lazy.force Helpers.small_db in
+  List.iter
+    (fun (name, q) ->
+      let plan = Opt.plan_exn (Opt.optimize (Db.catalog db) q) in
+      check_batch_invariance name db plan)
+    Q.all
+
+let test_workload_batch_invariance_medium () =
+  let db = Lazy.force Helpers.medium_db in
+  List.iter
+    (fun (name, q) ->
+      let plan = Opt.plan_exn (Opt.optimize (Db.catalog db) q) in
+      check_batch_invariance name db plan)
+    Q.all
+
+(* Rule configurations change plan shapes (merge join vs hash join,
+   assembly on/off); every shape must be batch-invariant, not just the
+   default winner's. *)
+let test_rule_configs_batch_invariant () =
+  let db = Lazy.force Helpers.small_db in
+  let configs =
+    [ ("default", Open_oodb.Options.default);
+      ("no-assembly", Open_oodb.Options.disable "mat-assembly" Open_oodb.Options.default);
+      ("no-hash-join", Open_oodb.Options.disable "hash-join" Open_oodb.Options.default);
+      ( "no-pointer-join",
+        Open_oodb.Options.disable "pointer-join" Open_oodb.Options.default ) ]
+  in
+  List.iter
+    (fun (cname, options) ->
+      List.iter
+        (fun (qname, q) ->
+          match (Opt.optimize ~options (Db.catalog db) q).Opt.plan with
+          | None -> ()
+          | Some plan ->
+            check_batch_invariance (Printf.sprintf "%s/%s" cname qname) db plan)
+        Q.all)
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: seeded random queries (the plan cache's generator walk)        *)
+
+let refs_of = function
+  | "Employee" -> [ ("dept", "Department"); ("job", "Job") ]
+  | "Department" -> [ ("plant", "Plant") ]
+  | "City" -> [ ("mayor", "Person"); ("country", "Country") ]
+  | "Country" -> [ ("president", "Person"); ("capital", "Capital") ]
+  | _ -> []
+
+let scalars_of = function
+  | "Employee" -> [ ("name", `Str); ("age", `Int) ]
+  | "Department" -> [ ("name", `Str); ("floor", `Int) ]
+  | "Plant" -> [ ("name", `Str); ("location", `Str) ]
+  | "Job" -> [ ("name", `Str); ("level", `Int) ]
+  | "Person" -> [ ("name", `Str); ("age", `Int) ]
+  | "City" -> [ ("name", `Str); ("population", `Int) ]
+  | "Country" -> [ ("name", `Str) ]
+  | "Capital" -> [ ("name", `Str); ("population", `Int) ]
+  | "Task" -> [ ("name", `Str); ("time", `Int) ]
+  | _ -> []
+
+let roots = [| ("Employees", "Employee"); ("Cities", "City"); ("Tasks", "Task");
+               ("Countries", "Country"); ("Departments", "Department") |]
+
+let str_pool = [| "Dallas"; "Joe"; "Fred"; "Austin" |]
+
+let cmps = [| Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge |]
+
+let gen_expr ~seed ~root_name =
+  let rng = Prng.create seed in
+  let coll, cls = Prng.pick rng roots in
+  let expr = ref (Logical.get ~coll ~binding:root_name) in
+  let scope = ref [ (root_name, cls) ] in
+  if cls = "Task" && Prng.bool rng then begin
+    let m = root_name ^ "_m" and e = root_name ^ "_e" in
+    expr :=
+      !expr
+      |> Logical.unnest ~out:m ~src:root_name ~field:"team_members"
+      |> Logical.mat_ref ~out:e ~src:m;
+    scope := (e, "Employee") :: !scope
+  end;
+  let random_atom () =
+    let b, c = Prng.pick rng (Array.of_list !scope) in
+    let f, ty = Prng.pick rng (Array.of_list (scalars_of c)) in
+    let const =
+      match ty with
+      | `Int -> Pred.Const (Value.Int (Prng.int rng 200))
+      | `Str -> Pred.Const (Value.Str (Prng.pick rng str_pool))
+    in
+    Pred.atom (Prng.pick rng cmps) (Pred.Field (b, f)) const
+  in
+  let mat_step () =
+    let unused_refs =
+      List.concat_map
+        (fun (b, c) ->
+          List.filter_map
+            (fun (f, target) ->
+              let out = b ^ "." ^ f in
+              if List.mem_assoc out !scope then None else Some (b, f, out, target))
+            (refs_of c))
+        !scope
+    in
+    match unused_refs with
+    | [] -> ()
+    | refs ->
+      let b, f, out, target = Prng.pick rng (Array.of_list refs) in
+      expr := Logical.mat ~src:b ~field:f !expr;
+      scope := (out, target) :: !scope
+  in
+  for _ = 1 to Prng.int rng 4 do mat_step () done;
+  if Prng.bool rng then begin
+    let atoms = List.init (1 + Prng.int rng 2) (fun _ -> random_atom ()) in
+    expr := Logical.select atoms !expr
+  end;
+  for _ = 1 to Prng.int rng 2 do mat_step () done;
+  if Prng.int rng 3 = 0 then begin
+    let b, c = Prng.pick rng (Array.of_list !scope) in
+    let f, _ = Prng.pick rng (Array.of_list (scalars_of c)) in
+    expr :=
+      Logical.project [ { Logical.p_expr = Pred.Field (b, f); p_name = b ^ "." ^ f } ] !expr
+  end;
+  !expr
+
+let n_fuzz = 80
+
+let test_fuzz_batch_invariance () =
+  let db = Lazy.force Helpers.small_db in
+  let cat = Db.catalog db in
+  for seed = 1 to n_fuzz do
+    let q = gen_expr ~seed ~root_name:"x" in
+    (match Logical.well_formed cat q with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: ill-formed query: %s" seed m);
+    match (Opt.optimize cat q).Opt.plan with
+    | None -> Alcotest.failf "seed %d: no plan" seed
+    | Some plan -> check_batch_invariance (Printf.sprintf "seed %d" seed) db plan
+  done
+
+(* The shim must also interleave coherently with batch pulls: consuming
+   a prefix tuple-wise and the rest batch-wise loses and duplicates
+   nothing. *)
+let test_mixed_tuple_and_batch_consumption () =
+  let db = Lazy.force Helpers.small_db in
+  let plan = Opt.plan_exn (Opt.optimize (Db.catalog db) Q.q1) in
+  let whole =
+    Oodb_exec.Iterator.to_list (Executor.iterator ~config:(config_of 64) db plan)
+  in
+  let it = Executor.iterator ~config:(config_of 64) db plan in
+  Oodb_exec.Iterator.open_ it;
+  let prefix = ref [] in
+  for _ = 1 to 5 do
+    match Oodb_exec.Iterator.next it with
+    | Some env -> prefix := env :: !prefix
+    | None -> ()
+  done;
+  let rec drain acc =
+    match Oodb_exec.Iterator.next_batch it with
+    | Some b -> drain (acc @ Oodb_exec.Batch.to_list b)
+    | None -> acc
+  in
+  let mixed = List.rev !prefix @ drain [] in
+  Oodb_exec.Iterator.close it;
+  Alcotest.(check int) "same row count" (List.length whole) (List.length mixed);
+  Helpers.check_same_rows "mixed consumption = batch consumption"
+    (Executor.rows_of plan whole) (Executor.rows_of plan mixed)
+
+let () =
+  Alcotest.run "vectorized"
+    [ ( "workload",
+        [ Alcotest.test_case "small catalog, batch sizes {1,7,64,1024}" `Quick
+            test_workload_batch_invariance_small;
+          Alcotest.test_case "medium catalog, batch sizes {1,7,64,1024}" `Quick
+            test_workload_batch_invariance_medium;
+          Alcotest.test_case "alternate rule configurations" `Quick
+            test_rule_configs_batch_invariant ] );
+      ( "fuzz",
+        [ Alcotest.test_case "seeded random plans batch-invariant" `Quick
+            test_fuzz_batch_invariance ] );
+      ( "protocol",
+        [ Alcotest.test_case "mixed tuple/batch consumption" `Quick
+            test_mixed_tuple_and_batch_consumption ] ) ]
