@@ -24,6 +24,7 @@ module Naive = Oodb_baselines.Naive
 module Json = Oodb_util.Json
 module Metrics = Oodb_obs.Metrics
 module Report = Oodb_obs.Report
+module History = Oodb_obs.History
 module Plancache = Oodb_plancache.Plancache
 
 let section title =
@@ -483,6 +484,104 @@ let repeated_workload () =
   Format.printf "cache: %d hits, %d misses, %d insertions@." s.Plancache.hits
     s.Plancache.misses s.Plancache.insertions
 
+(* Bench history: the regression gate's input ------------------------- *)
+
+let git_sha () =
+  match Sys.getenv_opt "OODB_GIT_SHA" with
+  | Some s when s <> "" -> s
+  | _ -> (
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      ignore (Unix.close_process_in ic);
+      if line = "" then "unknown" else line
+    with _ -> "unknown")
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+(* One schema-versioned record for BENCH_history.jsonl: per-query
+   min/median optimization and execution wall times (min over interleaved
+   trials, the same noise discipline as the vectorized section), the
+   search's memo size and rule work (stable across runs — a drift means
+   the optimizer changed, not the machine), and a deterministic
+   cold+warm plan-cache sweep whose hit rate is exactly 0.5 when the
+   cache works. *)
+let history_record ?(trials = 5) () =
+  let d = Lazy.force db in
+  let dcat = Db.catalog d in
+  let time f =
+    Gc.full_major ();
+    let t0 = Sys.time () in
+    let v = f () in
+    (Sys.time () -. t0, v)
+  in
+  let queries =
+    List.map
+      (fun (name, q) ->
+        let outcome = Opt.optimize dcat q in
+        let plan = Opt.plan_exn outcome in
+        ignore (Executor.run d plan);
+        let opt_times = ref [] and exec_times = ref [] and rows = ref 0 in
+        for _ = 1 to trials do
+          let dt, _ = time (fun () -> Opt.optimize dcat q) in
+          opt_times := dt :: !opt_times;
+          let dt, rs = time (fun () -> Executor.run d plan) in
+          exec_times := dt :: !exec_times;
+          rows := List.length rs
+        done;
+        { History.q_name = name;
+          q_opt_min = List.fold_left Float.min infinity !opt_times;
+          q_opt_median = median !opt_times;
+          q_exec_min = List.fold_left Float.min infinity !exec_times;
+          q_exec_median = median !exec_times;
+          q_rows = !rows;
+          q_groups = outcome.Opt.stats.Engine.groups;
+          q_rules_fired = outcome.Opt.stats.Engine.trule_fired })
+      [ ("q1", Q.q1); ("q2", Q.q2); ("q3", Q.q3); ("q4", Q.q4) ]
+  in
+  let cache_hit_rate =
+    let pc = Plancache.create () in
+    let qs = List.map snd Q.all in
+    ignore (Plancache.optimize_all pc cat qs);
+    ignore (Plancache.optimize_all pc cat qs);
+    let s = Plancache.stats pc in
+    float_of_int s.Plancache.hits /. float_of_int (s.Plancache.hits + s.Plancache.misses)
+  in
+  { History.r_git_sha = git_sha ();
+    r_date = iso_date ();
+    r_batch_size = Config.default.Config.batch_size;
+    r_cache_hit_rate = cache_hit_rate;
+    r_queries = queries }
+
+let history_path () =
+  match Sys.getenv_opt "OODB_BENCH_HISTORY" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_history.jsonl"
+
+let append_history () =
+  let r = history_record () in
+  let path = history_path () in
+  History.append path r;
+  Format.printf "appended %s record %s (%s) to %s@."
+    (match Sys.getenv_opt "OODB_BATCH_SIZE" with
+    | Some b -> "batch-size-" ^ b
+    | None -> "default")
+    r.History.r_git_sha r.History.r_date path;
+  List.iter
+    (fun (q : History.query_rec) ->
+      Format.printf "  %-4s opt min %.6fs median %.6fs | exec min %.6fs median %.6fs | %d rows, %d groups@."
+        q.History.q_name q.History.q_opt_min q.History.q_opt_median q.History.q_exec_min
+        q.History.q_exec_median q.History.q_rows q.History.q_groups)
+    r.History.r_queries
+
 (* Optimization-time microbenchmarks ---------------------------------- *)
 
 let bechamel_benchmarks () =
@@ -616,8 +715,13 @@ let json_results path =
   Format.printf "wrote %s@." path
 
 let () =
+  if Array.exists (fun a -> a = "--history") Sys.argv then begin
+    append_history ();
+    exit 0
+  end;
   if Array.exists (fun a -> a = "--json") Sys.argv then begin
     json_results "BENCH_results.json";
+    append_history ();
     exit 0
   end;
   Format.printf "Open OODB query optimizer: reproduction of the SIGMOD'93 evaluation@.";
@@ -639,4 +743,5 @@ let () =
   repeated_workload ();
   bechamel_benchmarks ();
   json_results "BENCH_results.json";
+  append_history ();
   Format.printf "@.done.@."

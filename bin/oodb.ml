@@ -9,8 +9,11 @@
      oodb memo --paper q2                  dump the memo after closure
      oodb run "<zql>" [--scale 0.1]        optimize + execute on generated data
      oodb run --paper q1 --profile         ... with per-operator profiling
+     oodb run --paper q1 --trace-out t.json   ... writing a Perfetto-loadable trace
+     oodb explain --paper q3 --analyze     plan annotated with measured actuals
      oodb optimize --paper q1 --trace      ... with search tracing
      oodb stats [-o FILE]                  full machine-readable workload report
+     oodb bench-compare OLD [NEW]          regression gate over bench history records
      oodb greedy --paper q4                the ObjectStore-style greedy baseline
      oodb analyze --scale 0.2              refresh catalog statistics from data *)
 
@@ -28,6 +31,9 @@ module Json = Oodb_util.Json
 module Trace = Oodb_obs.Trace
 module Profile = Oodb_obs.Profile
 module Report = Oodb_obs.Report
+module Span = Oodb_obs.Span
+module Metrics = Oodb_obs.Metrics
+module History = Oodb_obs.History
 module Plancache = Oodb_plancache.Plancache
 open Cmdliner
 
@@ -279,7 +285,102 @@ let memo_cmd =
     (Cmd.info "memo" ~doc:"Dump the memo (all groups and multi-expressions) after closure.")
     Term.(const memo_run $ paper_arg $ query_pos $ disable_arg)
 
-let run_run paper text disabled window no_pruning batch_size scale limit profile =
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc
+
+let run_run paper text disabled window no_pruning batch_size scale limit profile trace_out
+    =
+  (* one collector for the whole pipeline: compile, cache lookup, search
+     phases and per-operator execution all land in the same trace *)
+  let spans = Option.map (fun _ -> Span.create ()) trace_out in
+  let db = Oodb_workloads.Datagen.generate ~scale () in
+  let cat = Db.catalog db in
+  match
+    Span.with_span spans ~cat:"zql" "parse-simplify" (fun () ->
+        compile_query cat paper text)
+  with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok (q, required) ->
+    let options = options_of ?batch_size disabled window no_pruning in
+    let pc = Plancache.of_env () in
+    let o = Plancache.optimize ~options ~required ?spans pc cat q in
+    (match o.Plancache.plan with
+    | None ->
+      Format.eprintf "error: no plan found@.";
+      1
+    | Some plan ->
+      let rows, report =
+        if profile || Option.is_some trace_out then begin
+          (* the profiler's interposed iterators are what emit the
+             per-operator spans, so --trace-out implies profiling *)
+          let rows, report, prof =
+            Span.with_span spans ~cat:"pipeline" "execute" (fun () ->
+                Profile.run ~config:options.Options.config ?spans db plan)
+          in
+          if profile then
+            Format.printf "plan (est vs actual):@.%a@.estimated: %a@.@." Profile.pp
+              prof Cost.pp plan.Engine.cost
+          else
+            Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp
+              plan.Engine.cost;
+          (rows, report)
+        end
+        else begin
+          Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp
+            plan.Engine.cost;
+          Executor.run_measured ~config:options.Options.config db plan
+        end
+      in
+      Format.printf "%a@.@." Executor.pp_report report;
+      List.iteri
+        (fun i row ->
+          if i < limit then
+            Format.printf "%s@."
+              (String.concat ", "
+                 (List.map
+                    (fun (k, v) -> Printf.sprintf "%s=%s" k (Value.to_string v))
+                    row)))
+        rows;
+      if List.length rows > limit then Format.printf "... (%d rows)@." (List.length rows);
+      (match trace_out, spans with
+      | Some path, Some s ->
+        (match Span.well_formed s with
+        | Ok () -> ()
+        | Error m -> Format.eprintf "warning: trace not well-formed: %s@." m);
+        write_file path (Json.to_string ~minify:true (Span.to_chrome s));
+        Format.eprintf "wrote %s (%d span events; load in ui.perfetto.dev)@." path
+          (Span.count s)
+      | _ -> ());
+      0)
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Wrap every operator in counting iterators and print the annotated plan: \
+              actual rows, estimated rows, q-error and per-operator I/O deltas.")
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the whole pipeline (compile, cache \
+              lookup, search phases, per-operator execution) to $(docv); load it in \
+              ui.perfetto.dev or chrome://tracing.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize a query and execute it on a generated database.")
+    Term.(
+      const run_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
+      $ batch_size_arg $ scale_arg $ limit_arg $ profile_arg $ trace_out_arg)
+
+let explain_run paper text disabled window no_pruning batch_size scale analyze =
   let db = Oodb_workloads.Datagen.generate ~scale () in
   let cat = Db.catalog db in
   match compile_query cat paper text with
@@ -289,46 +390,120 @@ let run_run paper text disabled window no_pruning batch_size scale limit profile
   | Ok (q, required) ->
     let options = options_of ?batch_size disabled window no_pruning in
     let outcome = Opt.optimize ~options ~required cat q in
-    let plan = Opt.plan_exn outcome in
-    let rows, report =
-      if profile then begin
-        let rows, report, prof =
-          Profile.run ~config:options.Options.config db plan
-        in
-        Format.printf "plan (est vs actual):@.%a@.estimated: %a@.@." Profile.pp prof
-          Cost.pp (Opt.cost outcome);
-        (rows, report)
+    (match outcome.Opt.plan with
+    | None ->
+      Format.printf "no plan found@.";
+      1
+    | Some plan ->
+      if analyze then begin
+        let _rows, report, prof = Profile.run ~config:options.Options.config db plan in
+        Format.printf "plan (est vs actual, exclusive per node):@.%a@." Profile.pp prof;
+        Format.printf "@.anticipated cost: %a@.optimization: %.4fs, %a@.@.%a@." Cost.pp
+          plan.Engine.cost outcome.Opt.opt_seconds Opt.pp_stats outcome.Opt.stats
+          Executor.pp_report report;
+        0
       end
       else begin
-        Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp
-          (Opt.cost outcome);
-        Executor.run_measured ~config:options.Options.config db plan
-      end
-    in
-    Format.printf "%a@.@." Executor.pp_report report;
-    List.iteri
-      (fun i row ->
-        if i < limit then
-          Format.printf "%s@."
-            (String.concat ", "
-               (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Value.to_string v)) row)))
-      rows;
-    if List.length rows > limit then Format.printf "... (%d rows)@." (List.length rows);
-    0
+        Format.printf "%s" (Opt.explain outcome);
+        0
+      end)
 
-let profile_arg =
+let analyze_flag_arg =
   Arg.(
     value & flag
-    & info [ "profile" ]
-        ~doc:"Wrap every operator in counting iterators and print the annotated plan: \
-              actual rows, estimated rows, q-error and per-operator I/O deltas.")
+    & info [ "analyze" ]
+        ~doc:"Also execute the plan and annotate every node with actual rows, q-error, \
+              exclusive wall time and exclusive I/O (estimates alone otherwise).")
 
-let run_cmd =
+let explain_cmd =
   Cmd.v
-    (Cmd.info "run" ~doc:"Optimize a query and execute it on a generated database.")
+    (Cmd.info "explain"
+       ~doc:
+         "Show the chosen plan for a query; with $(b,--analyze), execute it and fuse the \
+          optimizer's estimates with measured per-operator actuals.")
     Term.(
-      const run_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ batch_size_arg $ scale_arg $ limit_arg $ profile_arg)
+      const explain_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
+      $ batch_size_arg $ scale_arg $ analyze_flag_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench-compare: the regression gate over BENCH_history.jsonl          *)
+
+let bench_compare_run old_path new_path threshold min_seconds report_only =
+  let newest_first path =
+    match History.load path with
+    | Error e -> Error e
+    | Ok [] -> Error (path ^ ": empty history")
+    | Ok rs -> Ok (List.rev rs)
+  in
+  let pair =
+    match new_path with
+    | None -> (
+      (* one file: compare its last record against the one before *)
+      match newest_first old_path with
+      | Error e -> Error e
+      | Ok (newest :: prev :: _) -> Ok (prev, newest)
+      | Ok _ -> Error (old_path ^ ": need at least two records to compare"))
+    | Some np -> (
+      match newest_first old_path, newest_first np with
+      | Error e, _ | _, Error e -> Error e
+      | Ok (o :: _), Ok (n :: _) -> Ok (o, n)
+      | Ok [], _ | _, Ok [] -> assert false)
+  in
+  match pair with
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    2
+  | Ok (old_rec, new_rec) ->
+    let c =
+      History.compare_records ?threshold ?min_seconds ~old_rec ~new_rec ()
+    in
+    Format.printf "%a" History.pp_comparison c;
+    if History.regressed c && not report_only then 1 else 0
+
+let bench_old_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OLD" ~doc:"Baseline history file (JSONL).")
+
+let bench_new_pos =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"NEW"
+        ~doc:"History file with the candidate record; when omitted, $(i,OLD)'s last two \
+              records are compared against each other.")
+
+let threshold_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "threshold" ] ~docv:"R"
+        ~doc:"Relative slowdown that counts as a regression (default 0.5 = +50%).")
+
+let min_seconds_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "min-seconds" ] ~docv:"S"
+        ~doc:"Absolute slowdown floor in seconds (default 0.001); smaller deltas are \
+              noise, never regressions.")
+
+let report_only_arg =
+  Arg.(
+    value & flag
+    & info [ "report-only" ]
+        ~doc:"Print the comparison but exit 0 even on a regression (for advisory CI \
+              gates).")
+
+let bench_compare_cmd =
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Compare the newest benchmark-history records of two JSONL files (or the last \
+          two records of one file) and exit 1 when a per-query min wall time regressed \
+          beyond both the relative threshold and the absolute floor.")
+    Term.(
+      const bench_compare_run $ bench_old_pos $ bench_new_pos $ threshold_arg
+      $ min_seconds_arg $ report_only_arg)
 
 let greedy_run paper text =
   let cat = OC.catalog_with_indexes () in
@@ -527,4 +702,5 @@ let () =
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ catalog_cmd; rules_cmd; optimize_cmd; optimize_all_cmd; memo_cmd; run_cmd;
-            greedy_cmd; analyze_cmd; stats_cmd; lint_cmd ]))
+            explain_cmd; bench_compare_cmd; greedy_cmd; analyze_cmd; stats_cmd;
+            lint_cmd ]))

@@ -38,13 +38,14 @@ let lint options cat ~required plan =
              Planlint.pp_violations vs))
 
 let optimize ?(options = Options.default) ?(required = Physprop.empty)
-    ?(initial_limit = Cost.infinite) ?closure_fuel ?trace cat expr =
+    ?(initial_limit = Cost.infinite) ?closure_fuel ?trace ?spans cat expr =
   let expr = prepare options cat expr in
   let spec = spec options cat in
   let t0 = Sys.time () in
   let result =
-    Engine.run ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-      ~initial_limit ?closure_fuel ?trace spec (expr_of_logical expr) ~required
+    Oodb_util.Span.with_span spans ~cat:"optimizer" "optimize" (fun () ->
+        Engine.run ~disabled:options.Options.disabled ~pruning:options.Options.pruning
+          ~initial_limit ?closure_fuel ?trace ?spans spec (expr_of_logical expr) ~required)
   in
   let t1 = Sys.time () in
   lint options cat ~required result.Engine.plan;
@@ -54,11 +55,11 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty)
     memo = result.Engine.ctx;
     root = result.Engine.root }
 
-let optimize_batch ?(options = Options.default) ?closure_fuel ?trace cat queries =
+let optimize_batch ?(options = Options.default) ?closure_fuel ?trace ?spans cat queries =
   let spec = spec options cat in
   let s =
     Engine.session ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-      ?closure_fuel ?trace spec
+      ?closure_fuel ?trace ?spans spec
   in
   (* Register every root before solving any of them: the shared memo then
      reaches its full logical closure once, and a subexpression two
@@ -87,8 +88,9 @@ let optimize_batch ?(options = Options.default) ?closure_fuel ?trace cat queries
         root = result.Engine.root })
     roots queries
 
-let optimize_all ?options ?(required = Physprop.empty) ?closure_fuel ?trace cat qs =
-  optimize_batch ?options ?closure_fuel ?trace cat (List.map (fun q -> (q, required)) qs)
+let optimize_all ?options ?(required = Physprop.empty) ?closure_fuel ?trace ?spans cat qs =
+  optimize_batch ?options ?closure_fuel ?trace ?spans cat
+    (List.map (fun q -> (q, required)) qs)
 
 let plan_exn outcome =
   match outcome.plan with

@@ -21,6 +21,7 @@ val optimize :
   ?initial_limit:Oodb_cost.Cost.t ->
   ?closure_fuel:int ->
   ?trace:(Model.Engine.event -> unit) ->
+  ?spans:Oodb_util.Span.t ->
   Oodb_catalog.Catalog.t ->
   Oodb_algebra.Logical.t ->
   outcome
@@ -32,7 +33,9 @@ val optimize :
     the outcome carries no plan. [closure_fuel] bounds logical-closure
     work for rule-set diagnostics (see {!Model.Engine.run}). [trace]
     receives every search event (see {!Model.Engine.event}); leave it
-    unset for the zero-overhead nil-sink fast path.
+    unset for the zero-overhead nil-sink fast path. [spans] collects an
+    ["optimize"] span (category ["optimizer"]) enclosing the engine's
+    per-phase spans (see {!Model.Engine.session}).
     @raise Invalid_argument if the expression is not well-formed, or if
     [options.verify] is on and the winning plan fails {!Planlint.plan} —
     the signature of an unsound rule. *)
@@ -41,6 +44,7 @@ val optimize_batch :
   ?options:Options.t ->
   ?closure_fuel:int ->
   ?trace:(Model.Engine.event -> unit) ->
+  ?spans:Oodb_util.Span.t ->
   Oodb_catalog.Catalog.t ->
   (Oodb_algebra.Logical.t * Physprop.t) list ->
   outcome list
@@ -64,6 +68,7 @@ val optimize_all :
   ?required:Physprop.t ->
   ?closure_fuel:int ->
   ?trace:(Model.Engine.event -> unit) ->
+  ?spans:Oodb_util.Span.t ->
   Oodb_catalog.Catalog.t ->
   Oodb_algebra.Logical.t list ->
   outcome list

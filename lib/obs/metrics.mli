@@ -1,5 +1,5 @@
-(** Metrics registry: named counters, gauges and timers with scoped
-    snapshots and JSON serialization.
+(** Metrics registry: named counters, gauges, timers and log-bucketed
+    latency histograms with scoped snapshots and JSON serialization.
 
     A registry is a flat namespace of metrics created on first use
     (conventionally slash-separated, e.g. ["q1/opt/groups"]). Snapshots
@@ -30,36 +30,68 @@ val observe : t -> string -> float -> unit
 (** Timer: record one duration in seconds; the registry accumulates
     total, count and max. *)
 
+val observe_hist : t -> string -> float -> unit
+(** Histogram: record one sample into geometric buckets (factor-of-two
+    boundaries from 1 µs, with an overflow bucket above the top bound).
+    Count, sum, and exact min/max are tracked alongside the buckets, so
+    {!percentile} snapshots are exact for single-sample, all-equal and
+    overflow-bucket distributions. *)
+
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk, {!observe} its wall-clock duration under the given
     timer name. The duration is recorded even when the thunk raises. *)
 
 (** {1 Snapshots} *)
 
+type hsnap = {
+  count : int;
+  sum : float;
+  min : float;  (** exact observed minimum ([infinity] when empty) *)
+  max : float;  (** exact observed maximum ([neg_infinity] when empty) *)
+  counts : int array;  (** per-bucket counts, indexed like {!bucket_bounds} *)
+}
+
 type value =
   | Counter of int
   | Gauge of float
   | Timer of { total : float; count : int; max : float }
+  | Histogram of hsnap
 
 type snapshot = (string * value) list
 (** Sorted by name. *)
+
+val bucket_bounds : float array
+(** Inclusive upper bounds of the histogram buckets; the last entry is
+    [infinity] (the overflow bucket). *)
+
+val percentile : hsnap -> float -> float
+(** [percentile h q] for [q] in [0, 1]: the upper bound of the bucket
+    holding the [ceil (q * count)]'th smallest sample, clamped into the
+    exact [[min, max]] — so the result never leaves the observed range,
+    and degenerate distributions (one sample, all samples in one bucket,
+    rank landing in the overflow bucket) come back exact. [nan] when the
+    histogram is empty. *)
 
 val snapshot : t -> snapshot
 
 val find : snapshot -> string -> value option
 
 val diff : before:snapshot -> after:snapshot -> snapshot
-(** Per-name delta: counters and timer totals/counts subtract (a metric
-    absent from [before] counts from zero); gauges keep their [after]
-    value (instantaneous readings have no meaningful delta); timer [max]
-    is the [after] max. Names only in [before] are dropped. *)
+(** Per-name delta: counters, timer totals/counts and histogram
+    bucket counts subtract (a metric absent from [before] counts from
+    zero); gauges keep their [after] value (instantaneous readings have
+    no meaningful delta); timer and histogram [min]/[max] are the
+    [after] extrema. Names only in [before] are dropped. *)
 
 val scoped : t -> (unit -> 'a) -> 'a * snapshot
 (** Run the thunk and return what the registry accumulated during it. *)
 
 val to_json : snapshot -> Json.t
 (** An object keyed by metric name; counters as ints, gauges as floats,
-    timers as [{"total": s, "count": n, "max": s}]. *)
+    timers as [{"total": s, "count": n, "max": s}], histograms as
+    [{"count", "sum", "min", "max", "p50", "p95", "p99", "buckets":
+    [{"le", "count"}, ..]}] (occupied buckets only; the overflow
+    bucket's bound serializes as [null]). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** One ["name value"] line per metric. *)

@@ -22,11 +22,13 @@ type io = {
 }
 
 type node = {
+  op_id : int;
   alg : Physical.t;
   est_rows : float;
   actual_rows : int;
   batches : int;
   wall_seconds : float;
+  exclusive_seconds : float;
   inclusive : io;
   exclusive : io;
   q_error : float;
@@ -39,6 +41,7 @@ let q_error ~est ~actual =
 
 (* Mutable per-operator accumulator, one per plan node. *)
 type cell = {
+  id : int;
   mutable rows : int;
   mutable batches : int;
   mutable wall : float;
@@ -80,7 +83,7 @@ let io_of config (d : Disk.stats) (b : Buffer_pool.stats) =
 let rec uniquify (p : Engine.plan) : Engine.plan =
   { p with Engine.children = List.map uniquify p.Engine.children }
 
-let run ?(verify = false) ?(config = Config.default) db plan =
+let run ?(verify = false) ?(config = Config.default) ?spans ?registry db plan =
   (if verify then
      match Planlint.plan (Db.catalog db) plan with
      | Ok () -> ()
@@ -92,13 +95,27 @@ let run ?(verify = false) ?(config = Config.default) db plan =
   let store = Db.store db in
   let disk = Store.disk store and buffer = Store.buffer store in
   let cells : (Engine.plan * cell) list ref = ref [] in
-  let measure cell f =
+  (* Span boundaries use the very same [Sys.time] readings as the wall
+     accumulator, so per-operator span durations sum to [wall_seconds]
+     exactly, not merely within clock jitter. *)
+  let span_begin name args t0 =
+    match spans with
+    | None -> ()
+    | Some s -> Span.begin_ s ~cat:"exec" ~args ~ts:t0 name
+  in
+  let span_end name t1 =
+    match spans with None -> () | Some s -> Span.end_ s ~ts:t1 name
+  in
+  let measure cell ~name ~args f =
     let d0 = Disk.stats disk and b0 = Buffer_pool.stats buffer in
     let t0 = Sys.time () in
+    span_begin name args t0;
     let finish () =
-      cell.wall <- cell.wall +. (Sys.time () -. t0);
+      let t1 = Sys.time () in
+      cell.wall <- cell.wall +. (t1 -. t0);
       cell.disk <- add_disk cell.disk (Disk.sub (Disk.stats disk) d0);
-      cell.buf <- add_buf cell.buf (Buffer_pool.sub (Buffer_pool.stats buffer) b0)
+      cell.buf <- add_buf cell.buf (Buffer_pool.sub (Buffer_pool.stats buffer) b0);
+      span_end name t1
     in
     match f () with
     | v ->
@@ -108,23 +125,40 @@ let run ?(verify = false) ?(config = Config.default) db plan =
       finish ();
       raise e
   in
+  let next_id = ref 0 in
   let wrap node it =
-    let cell = { rows = 0; batches = 0; wall = 0.; disk = zero_disk; buf = zero_buf } in
+    let id = !next_id in
+    incr next_id;
+    let cell =
+      { id; rows = 0; batches = 0; wall = 0.; disk = zero_disk; buf = zero_buf }
+    in
     cells := (node, cell) :: !cells;
+    let name = Physical.to_string node.Engine.alg in
+    let args phase = [ ("op_id", Json.Int id); ("phase", Json.String phase) ] in
     (* Interpose per batch, not per tuple: one measured boundary crossing
        per next_batch keeps the profiler's own overhead amortized the
        same way the engine's is, and the I/O counters still sum exactly
        because they are deltas of global counters. *)
     Iterator.make_batched
-      ~open_:(fun () -> measure cell (fun () -> Iterator.open_ it))
+      ~open_:(fun () ->
+        measure cell ~name ~args:(args "open") (fun () -> Iterator.open_ it))
       ~next_batch:(fun () ->
         cell.batches <- cell.batches + 1;
-        let r = measure cell (fun () -> Iterator.next_batch it) in
+        let r =
+          measure cell ~name ~args:(args "next_batch") (fun () ->
+              Iterator.next_batch it)
+        in
         (match r with
-        | Some b -> cell.rows <- cell.rows + Oodb_exec.Batch.length b
+        | Some b ->
+          let n = Oodb_exec.Batch.length b in
+          cell.rows <- cell.rows + n;
+          Option.iter
+            (fun reg -> Metrics.observe_hist reg "exec/batch_rows" (float_of_int n))
+            registry
         | None -> ());
         r)
-      ~close:(fun () -> measure cell (fun () -> Iterator.close it))
+      ~close:(fun () ->
+        measure cell ~name ~args:(args "close") (fun () -> Iterator.close it))
   in
   Disk.reset_stats disk;
   Buffer_pool.reset_stats buffer;
@@ -143,7 +177,7 @@ let run ?(verify = false) ?(config = Config.default) db plan =
     | None ->
       (* A node the executor never built an iterator for (unreachable for
          well-formed plans): report zeros. *)
-      { rows = 0; batches = 0; wall = 0.; disk = zero_disk; buf = zero_buf }
+      { id = -1; rows = 0; batches = 0; wall = 0.; disk = zero_disk; buf = zero_buf }
   in
   let sub_io a b =
     let d =
@@ -171,11 +205,20 @@ let run ?(verify = false) ?(config = Config.default) db plan =
     let exclusive =
       List.fold_left (fun acc c -> sub_io acc c.inclusive) inclusive children
     in
-    { alg = p.Engine.alg;
+    (* In the pull model every child batch is produced inside a parent
+       measure window, so inclusive >= sum of children; the clamp only
+       absorbs float rounding. *)
+    let exclusive_seconds =
+      Float.max 0.
+        (List.fold_left (fun acc c -> acc -. c.wall_seconds) cell.wall children)
+    in
+    { op_id = cell.id;
+      alg = p.Engine.alg;
       est_rows = e.Cardest.card;
       actual_rows = cell.rows;
       batches = cell.batches;
       wall_seconds = cell.wall;
+      exclusive_seconds;
       inclusive;
       exclusive;
       q_error = q_error ~est:e.Cardest.card ~actual:(float_of_int cell.rows);
@@ -185,10 +228,10 @@ let run ?(verify = false) ?(config = Config.default) db plan =
 
 let annot n =
   Printf.sprintf
-    "rows=%d est=%.1f q=%.2f batches=%d io: %d seq + %d rand + %d write (buffer %d/%d/%d) ~%.3fs"
-    n.actual_rows n.est_rows n.q_error n.batches n.exclusive.seq_reads
-    n.exclusive.rand_reads n.exclusive.writes n.exclusive.buffer_hits
-    n.exclusive.buffer_misses n.exclusive.buffer_evictions
+    "rows=%d est=%.1f q=%.2f batches=%d wall=%.4fs io: %d seq + %d rand + %d write (buffer %d/%d/%d) ~%.3fs"
+    n.actual_rows n.est_rows n.q_error n.batches n.exclusive_seconds
+    n.exclusive.seq_reads n.exclusive.rand_reads n.exclusive.writes
+    n.exclusive.buffer_hits n.exclusive.buffer_misses n.exclusive.buffer_evictions
     n.exclusive.simulated_seconds
 
 let rec tree_of n =
@@ -212,10 +255,12 @@ let io_json io =
 let rec to_json n =
   Json.Obj
     [ ("op", Json.String (Physical.to_string n.alg));
+      ("op_id", Json.Int n.op_id);
       ("est_rows", Json.float n.est_rows);
       ("actual_rows", Json.Int n.actual_rows);
       ("batches", Json.Int n.batches);
       ("wall_seconds", Json.float n.wall_seconds);
+      ("exclusive_seconds", Json.float n.exclusive_seconds);
       ("q_error", Json.float n.q_error);
       ("inclusive", io_json n.inclusive);
       ("exclusive", io_json n.exclusive);

@@ -33,11 +33,17 @@ type io = {
 }
 
 type node = {
+  op_id : int;
+      (** iterator construction order; matches the ["op_id"] span
+          argument, so trace spans can be attributed to plan nodes *)
   alg : Physical.t;
   est_rows : float;  (** the optimizer's estimate, re-derived by {!Cardest} *)
   actual_rows : int;
   batches : int;  (** [next_batch] calls, including the final [None] *)
   wall_seconds : float;  (** inclusive CPU seconds ([Sys.time]) *)
+  exclusive_seconds : float;
+      (** [wall_seconds] minus the children's — sums to the root's
+          inclusive time over the tree (clamped at 0 against rounding) *)
   inclusive : io;
   exclusive : io;
   q_error : float;  (** [max (est/actual) (actual/est)], 1.0 = perfect *)
@@ -51,12 +57,19 @@ val q_error : est:float -> actual:float -> float
 val run :
   ?verify:bool ->
   ?config:Oodb_cost.Config.t ->
+  ?spans:Span.t ->
+  ?registry:Metrics.t ->
   Oodb_exec.Db.t ->
   Engine.plan ->
   Oodb_exec.Executor.row list * Oodb_exec.Executor.io_report * node
 (** Execute like [Executor.run_measured] (statistics reset, buffer pool
     flushed) with profiling on. [verify] (default off) runs the static
-    plan linter first. *)
+    plan linter first. [spans] records one span per interposed call
+    (category ["exec"], named after the operator, with ["op_id"] and
+    ["phase"] ∈ open/next_batch/close arguments) using the {e same}
+    clock readings as [wall_seconds], so per-operator span durations sum
+    to the profile's wall times exactly. [registry] gets every produced
+    batch's row count in the ["exec/batch_rows"] histogram. *)
 
 val pp : Format.formatter -> node -> unit
 (** The annotated plan: operator tree with

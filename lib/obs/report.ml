@@ -2,6 +2,7 @@ module Json = Oodb_util.Json
 module Engine = Open_oodb.Model.Engine
 module Optimizer = Open_oodb.Optimizer
 module Options = Open_oodb.Options
+module Physical = Open_oodb.Physical
 module Cost = Oodb_cost.Cost
 module Db = Oodb_exec.Db
 module Executor = Oodb_exec.Executor
@@ -25,17 +26,21 @@ let zero_report : Executor.io_report =
     rows = 0;
     simulated_seconds = 0. }
 
-let collect ?(options = Options.default) ?registry ?trace_capacity db ~name query =
+let collect ?(options = Options.default) ?registry ?trace_capacity ?spans db ~name query
+    =
   let trace = Trace.create ?capacity:trace_capacity () in
   let outcome =
-    Optimizer.optimize ~options ~trace:(Trace.sink trace) (Db.catalog db) query
+    Span.with_span spans ~cat:"pipeline" name (fun () ->
+        Optimizer.optimize ~options ~trace:(Trace.sink trace) ?spans (Db.catalog db)
+          query)
   in
   let rows, report, profile =
     match outcome.Optimizer.plan with
     | None -> ([], zero_report, None)
     | Some plan ->
       let rows, report, prof =
-        Profile.run ~config:options.Options.config db plan
+        Span.with_span spans ~cat:"pipeline" "execute" (fun () ->
+            Profile.run ~config:options.Options.config ?spans ?registry db plan)
       in
       (rows, report, Some prof)
   in
@@ -49,6 +54,18 @@ let collect ?(options = Options.default) ?registry ?trace_capacity db ~name quer
     Metrics.incr ~by:s.Engine.candidates m (key "opt/candidates");
     Metrics.incr ~by:s.Engine.phys_memo_hits m (key "opt/memo_hits");
     Metrics.observe m (key "opt/seconds") outcome.Optimizer.opt_seconds;
+    (* Cross-query latency distribution, alongside the per-query timer. *)
+    Metrics.observe_hist m "opt/seconds" outcome.Optimizer.opt_seconds;
+    (match profile with
+    | None -> ()
+    | Some p ->
+      let rec walk (n : Profile.node) =
+        Metrics.observe_hist m
+          ("exec/op/" ^ Physical.to_string n.Profile.alg ^ "/exclusive_seconds")
+          n.Profile.exclusive_seconds;
+        List.iter walk n.Profile.children
+      in
+      walk p);
     Metrics.incr ~by:report.Executor.rows m (key "exec/rows");
     Metrics.incr
       ~by:(report.Executor.seq_reads + report.Executor.rand_reads)

@@ -19,6 +19,7 @@ val collect :
   ?options:Open_oodb.Options.t ->
   ?registry:Metrics.t ->
   ?trace_capacity:int ->
+  ?spans:Span.t ->
   Oodb_exec.Db.t ->
   name:string ->
   Oodb_algebra.Logical.t ->
@@ -28,7 +29,12 @@ val collect :
     When [registry] is given, headline figures (groups, candidates,
     optimization/simulated seconds, rows, I/O) are also accumulated
     there under ["<name>/..."] metric names, so a caller sweeping a
-    workload gets a cross-query {!Metrics.snapshot} for free. *)
+    workload gets a cross-query {!Metrics.snapshot} for free; latency
+    distributions land in the cross-query ["opt/seconds"],
+    ["exec/batch_rows"] and per-operator
+    ["exec/op/<op>/exclusive_seconds"] histograms. [spans] wraps the
+    optimize and execute phases (category ["pipeline"]) around the
+    engine's and profiler's finer spans. *)
 
 val io_report_json : Oodb_exec.Executor.io_report -> Json.t
 

@@ -1,0 +1,1 @@
+include Oodb_util.Span

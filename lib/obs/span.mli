@@ -1,0 +1,14 @@
+(** Hierarchical pipeline spans, re-exported from {!Oodb_util.Span}.
+
+    The implementation lives in [lib/util] so the layers below the
+    observability library (the Volcano engine, the optimizer, the plan
+    cache, the executor) can accept a [Span.t option] without a
+    dependency cycle; this alias makes the observability surface
+    complete — [Oodb_obs] is the one library an operator-facing tool
+    needs. Collect with {!with_span} threaded through parse → optimize →
+    cache → execute, export with {!to_chrome}, load in ui.perfetto.dev
+    ([oodb run --trace-out FILE]). *)
+
+include module type of struct
+  include Oodb_util.Span
+end

@@ -198,6 +198,13 @@ let pp_event ppf (e : Engine.event) =
     Format.fprintf ppf "memo hit: (group %d, %a)" group Physprop.pp required
 
 let pp_timeline ?limit ppf t =
+  (* Lead with the drop count: a truncated timeline silently read as
+     complete is worse than no timeline. Aggregates stay exact anyway. *)
+  if dropped t > 0 then
+    Format.fprintf ppf
+      "WARNING: %d of %d events dropped (ring capacity exceeded); timeline is a \
+       suffix, aggregates remain exact@."
+      (dropped t) (seen t);
   let evs = events t in
   let retained = List.length evs in
   let evs, shown =
@@ -207,7 +214,7 @@ let pp_timeline ?limit ppf t =
       (drop (retained - n) evs, n)
     | _ -> (evs, retained)
   in
-  let hidden = seen t - shown in
+  let hidden = retained - shown in
   if hidden > 0 then Format.fprintf ppf "... %d earlier events not shown@." hidden;
   List.iter (fun (seq, e) -> Format.fprintf ppf "%6d  %a@." seq pp_event e) evs
 
@@ -283,7 +290,18 @@ let event_json (e : Engine.event) =
 let to_json t =
   let x = t.totals in
   Json.Obj
-    [ ( "totals",
+    ((* top-level, not buried in "timeline": consumers checking
+        completeness should not need to know the nesting *)
+     [ ("dropped", Json.Int (dropped t)) ]
+    @ (if dropped t > 0 then
+         [ ( "dropped_warning",
+             Json.String
+               (Printf.sprintf
+                  "%d of %d events dropped (ring capacity exceeded); timeline is \
+                   a suffix, aggregates remain exact"
+                  (dropped t) (seen t)) ) ]
+       else [])
+    @ [ ( "totals",
         Json.Obj
           [ ("groups_created", Json.Int x.groups_created);
             ("mexprs_added", Json.Int x.mexprs_added);
@@ -330,4 +348,4 @@ let to_json t =
                      match event_json e with
                      | Json.Obj fields -> Json.Obj (("seq", Json.Int seq) :: fields)
                      | other -> other)
-                   (events t)) ) ] ) ]
+                   (events t)) ) ] ) ])

@@ -74,7 +74,9 @@ val pp_event : Format.formatter -> Engine.event -> unit
 
 val pp_timeline : ?limit:int -> Format.formatter -> t -> unit
 (** Sequence-numbered event lines, oldest first; [limit] keeps only the
-    last [limit] retained events. Notes how many events were dropped. *)
+    last [limit] retained events. {e Leads} with a WARNING line whenever
+    the ring dropped events, so a truncated timeline cannot be mistaken
+    for a complete one. *)
 
 val pp_rules : Format.formatter -> t -> unit
 (** Per-rule tried/fired table, the paper's Table 2–3 shape. *)
@@ -84,5 +86,8 @@ val pp_groups : Format.formatter -> t -> unit
 val pp_summary : Format.formatter -> t -> unit
 
 val to_json : t -> Json.t
-(** [{"totals": .., "rules": [..], "groups": [..],
-    "timeline": {"seen": n, "dropped": n, "events": [..]}}]. *)
+(** [{"dropped": n, "totals": .., "rules": [..], "groups": [..],
+    "timeline": {"seen": n, "dropped": n, "events": [..]}}] — the
+    top-level ["dropped"] (plus a human-readable ["dropped_warning"]
+    when nonzero) flags an incomplete timeline without digging into the
+    nesting. *)

@@ -5,6 +5,7 @@ module Logical = Oodb_algebra.Logical
 module Options = Open_oodb.Options
 module Physprop = Open_oodb.Physprop
 module Metrics = Oodb_obs.Metrics
+module Span = Oodb_obs.Span
 module Json = Oodb_util.Json
 
 type entry = {
@@ -162,6 +163,9 @@ let derivation_sink registry (ev : Engine.event) =
 let mincr registry name =
   match registry with None -> () | Some r -> Metrics.incr r name
 
+let mhist registry name v =
+  match registry with None -> () | Some r -> Metrics.observe_hist r name v
+
 let trace_of registry = Option.map derivation_sink registry
 
 let outcome_of_cold (o : Optimizer.outcome) =
@@ -173,35 +177,47 @@ let outcome_of_cold (o : Optimizer.outcome) =
 let entry_of_cold hex (o : Optimizer.outcome) =
   { e_fingerprint = hex; e_plan = o.Optimizer.plan; e_stats = o.Optimizer.stats }
 
-let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry (t : t) cat
-    expr =
+let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry ?spans
+    (t : t) cat expr =
   if not options.Options.cache then begin
     mincr registry "plancache/bypass";
-    outcome_of_cold (Optimizer.optimize ~options ~required ?trace:(trace_of registry) cat expr)
+    outcome_of_cold
+      (Optimizer.optimize ~options ~required ?trace:(trace_of registry) ?spans cat expr)
   end
   else begin
     let t0 = Sys.time () in
     let disk_before = t.disk_hits in
-    let fp = Fingerprint.make ~catalog:cat ~options ~required expr in
-    match lookup t fp with
+    let fp =
+      Span.with_span spans ~cat:"plancache" "fingerprint" (fun () ->
+          Fingerprint.make ~catalog:cat ~options ~required expr)
+    in
+    let found =
+      Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () -> lookup t fp)
+    in
+    (* Latency to a hit/miss verdict: fingerprinting plus both tiers. *)
+    mhist registry "plancache/lookup_seconds" (Sys.time () -. t0);
+    match found with
     | Some e ->
       mincr registry "plancache/hit";
       if t.disk_hits > disk_before then mincr registry "plancache/disk_hit";
       { plan = e.e_plan; stats = e.e_stats; opt_seconds = Sys.time () -. t0; cached = true }
     | None ->
       mincr registry "plancache/miss";
-      let cold = Optimizer.optimize ~options ~required ?trace:(trace_of registry) cat expr in
+      let cold =
+        Optimizer.optimize ~options ~required ?trace:(trace_of registry) ?spans cat expr
+      in
       let evicted = insert_counting t fp (entry_of_cold (Fingerprint.to_hex fp) cold) in
       mincr registry "plancache/insert";
       if Option.is_some evicted then mincr registry "plancache/eviction";
       { (outcome_of_cold cold) with opt_seconds = Sys.time () -. t0 }
   end
 
-let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?registry t cat qs =
+let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?registry
+    ?spans t cat qs =
   if not options.Options.cache then begin
     List.iter (fun _ -> mincr registry "plancache/bypass") qs;
     List.map outcome_of_cold
-      (Optimizer.optimize_all ~options ~required ?trace:(trace_of registry) cat qs)
+      (Optimizer.optimize_all ~options ~required ?trace:(trace_of registry) ?spans cat qs)
   end
   else begin
     (* Serve hits individually; batch every miss through one shared memo
@@ -213,8 +229,16 @@ let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?regi
         (List.mapi
            (fun i q ->
              let t0 = Sys.time () in
-             let fp = Fingerprint.make ~catalog:cat ~options ~required q in
-             match lookup t fp with
+             let fp =
+               Span.with_span spans ~cat:"plancache" "fingerprint" (fun () ->
+                   Fingerprint.make ~catalog:cat ~options ~required q)
+             in
+             let found =
+               Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () ->
+                   lookup t fp)
+             in
+             mhist registry "plancache/lookup_seconds" (Sys.time () -. t0);
+             match found with
              | Some e ->
                mincr registry "plancache/hit";
                results.(i) <-
@@ -233,7 +257,7 @@ let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?regi
     | [] -> ()
     | _ :: _ ->
       let batch =
-        Optimizer.optimize_batch ~options ?trace:(trace_of registry) cat
+        Optimizer.optimize_batch ~options ?trace:(trace_of registry) ?spans cat
           (List.map (fun (_, q, _, _) -> (q, required)) misses)
       in
       List.iter2

@@ -82,6 +82,7 @@ val optimize :
   ?options:Options.t ->
   ?required:Physprop.t ->
   ?registry:Metrics.t ->
+  ?spans:Oodb_obs.Span.t ->
   t ->
   Catalog.t ->
   Logical.t ->
@@ -94,12 +95,16 @@ val optimize :
     [plancache/hit], [plancache/miss], [plancache/insert],
     [plancache/eviction], [plancache/disk_hit], [plancache/bypass] and
     [plancache/derivations] (one per logical-property derivation, i.e.
-    per memo group created — zero on hits). *)
+    per memo group created — zero on hits), and records the time to a
+    hit/miss verdict in the [plancache/lookup_seconds] histogram.
+    [spans] wraps fingerprinting and the lookup (category
+    ["plancache"]) and is passed on to the cold search. *)
 
 val optimize_all :
   ?options:Options.t ->
   ?required:Physprop.t ->
   ?registry:Metrics.t ->
+  ?spans:Oodb_obs.Span.t ->
   t ->
   Catalog.t ->
   Logical.t list ->

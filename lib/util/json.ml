@@ -70,6 +70,11 @@ let to_string ?(minify = false) t =
       Buffer.add_char buf ']'
     | Obj [] -> Buffer.add_string buf "{}"
     | Obj fields ->
+      (* Deterministic output: keys render sorted regardless of build
+         order, so report diffs and CI artifact comparisons are stable. *)
+      let fields =
+        List.stable_sort (fun (a, _) (b, _) -> String.compare a b) fields
+      in
       Buffer.add_char buf '{';
       List.iteri
         (fun i (k, v) ->

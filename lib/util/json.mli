@@ -18,7 +18,9 @@ type t =
   | Float of t_float
   | String of string
   | List of t list
-  | Obj of (string * t) list  (** insertion order is preserved *)
+  | Obj of (string * t) list
+      (** insertion order is preserved in the value; {!to_string} renders
+          keys sorted so emitted reports are deterministic *)
 
 and t_float = float
 
@@ -27,7 +29,9 @@ val float : float -> t
 
 val to_string : ?minify:bool -> t -> string
 (** Render; [minify] (default [false]) drops all whitespace, otherwise
-    objects and arrays are indented two spaces per level. *)
+    objects and arrays are indented two spaces per level. Object keys
+    are emitted in sorted order (stable for duplicates), making the
+    output deterministic for diffing and CI artifact comparison. *)
 
 val pp : Format.formatter -> t -> unit
 (** Pretty (indented) rendering. *)

@@ -1,4 +1,6 @@
 module Pretty = Oodb_util.Pretty
+module Span = Oodb_util.Span
+module Json = Oodb_util.Json
 
 module type MODEL = sig
   module Op : sig
@@ -622,11 +624,12 @@ module Make (M : MODEL) = struct
     ss_enforcers : enforcer list;
     ss_pruning : bool;
     ss_closure_fuel : int option; (* budget over the whole session's closure steps *)
+    ss_spans : Span.t option; (* search-phase spans; None is the nil-sink fast path *)
     ss_ctx : ctx;
     ss_phys : entry Phys_tbl.t;
   }
 
-  let session ?(disabled = []) ?(pruning = true) ?closure_fuel ?trace spec =
+  let session ?(disabled = []) ?(pruning = true) ?closure_fuel ?trace ?spans spec =
     let enabled name = not (List.mem name disabled) in
     let ctx =
       { parents = Array.init 64 (fun i -> i);
@@ -651,6 +654,7 @@ module Make (M : MODEL) = struct
       ss_enforcers = List.filter (fun r -> enabled r.e_name) spec.enforcers;
       ss_pruning = pruning;
       ss_closure_fuel = closure_fuel;
+      ss_spans = spans;
       ss_ctx = ctx;
       ss_phys = Phys_tbl.create 256 }
 
@@ -659,8 +663,14 @@ module Make (M : MODEL) = struct
   let register s expr =
     let ctx = s.ss_ctx in
     let queue = Queue.create () in
-    let root = intern_expr s.ss_spec ctx queue expr in
-    closure ?fuel:s.ss_closure_fuel s.ss_spec ctx queue ~enabled_trules:s.ss_trules;
+    let root =
+      Span.with_span s.ss_spans ~cat:"volcano" "intern" (fun () ->
+          intern_expr s.ss_spec ctx queue expr)
+    in
+    Span.with_span s.ss_spans ~cat:"volcano" "logical-closure"
+      ~args:[ ("root_group", Json.Int root) ]
+      (fun () ->
+        closure ?fuel:s.ss_closure_fuel s.ss_spec ctx queue ~enabled_trules:s.ss_trules);
     find ctx root
 
   let snapshot_stats ctx =
@@ -677,15 +687,18 @@ module Make (M : MODEL) = struct
   let solve s ?(initial_limit = M.Cost.infinite) root ~required =
     let ctx = s.ss_ctx in
     let plan =
-      optimize_physical ctx ~memo:s.ss_phys ~enabled_irules:s.ss_irules
-        ~enabled_enforcers:s.ss_enforcers ~pruning:s.ss_pruning ~initial_limit
-        ~root:(find ctx root) ~required
+      Span.with_span s.ss_spans ~cat:"volcano" "physical-search"
+        ~args:[ ("root_group", Json.Int (find ctx root)) ]
+        (fun () ->
+          optimize_physical ctx ~memo:s.ss_phys ~enabled_irules:s.ss_irules
+            ~enabled_enforcers:s.ss_enforcers ~pruning:s.ss_pruning ~initial_limit
+            ~root:(find ctx root) ~required)
     in
     { plan; stats = snapshot_stats ctx; root = find ctx root; ctx }
 
-  let run ?disabled ?pruning ?(initial_limit = M.Cost.infinite) ?closure_fuel ?trace spec
-      expr ~required =
-    let s = session ?disabled ?pruning ?closure_fuel ?trace spec in
+  let run ?disabled ?pruning ?(initial_limit = M.Cost.infinite) ?closure_fuel ?trace ?spans
+      spec expr ~required =
+    let s = session ?disabled ?pruning ?closure_fuel ?trace ?spans spec in
     let root = register s expr in
     solve s ~initial_limit root ~required
 

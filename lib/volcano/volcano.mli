@@ -226,12 +226,17 @@ module Make (M : MODEL) : sig
     ?pruning:bool ->
     ?closure_fuel:int ->
     ?trace:(event -> unit) ->
+    ?spans:Oodb_util.Span.t ->
     spec ->
     session
   (** Fresh session with an empty memo. [closure_fuel] is a budget over
       the session's total closure steps (all [register] calls share it).
       Statistics and rule counters accumulate over the session's
-      lifetime; each {!solve} result carries a snapshot. *)
+      lifetime; each {!solve} result carries a snapshot. [spans]
+      collects one hierarchical span per search phase — ["intern"] and
+      ["logical-closure"] under each {!register}, ["physical-search"]
+      under each {!solve} — category ["volcano"]; when absent no span
+      events are constructed. *)
 
   val session_ctx : session -> ctx
 
@@ -257,6 +262,7 @@ module Make (M : MODEL) : sig
     ?initial_limit:M.Cost.t ->
     ?closure_fuel:int ->
     ?trace:(event -> unit) ->
+    ?spans:Oodb_util.Span.t ->
     spec ->
     expr ->
     required:M.Pprop.t ->
