@@ -1,0 +1,261 @@
+(* Typed algebra IR: compositional type inference for the logical object
+   algebra. The type of an expression records its binder environment
+   (binding name -> class, in scope order), its output columns when the
+   root is a projection, and its duplicate semantics. Ordering is a
+   physical property (delivered by algorithms, demanded by goals) and is
+   deliberately absent from the logical type.
+
+   [infer_op] is the single-step judgment the memo enforces on every
+   multi-expression it interns; [infer] is its transitive closure over a
+   whole expression tree. Both check path-expression validity (Mat needs
+   a single-valued reference, Unnest a set of references), predicate
+   binder scoping and attribute existence against the catalog. *)
+
+module Schema = Oodb_catalog.Schema
+module Catalog = Oodb_catalog.Catalog
+module Value = Oodb_storage.Value
+
+type dup = Set_sem | Bag_sem
+
+type col_ty =
+  | Typed of Schema.attr_ty
+  | Opaque (* a column whose type has no catalog name, e.g. a null literal *)
+
+type t = {
+  ty_bindings : (string * string) list;
+  ty_cols : (string * col_ty) list option;
+  ty_dup : dup;
+}
+
+let dup_name = function Set_sem -> "set" | Bag_sem -> "bag"
+
+(* Transformation rules permute binder order (join-commute most
+   obviously), so group-level type equality treats the environment as a
+   finite map; column lists are positional and compare as written. *)
+let sorted_bindings t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t.ty_bindings
+
+let equal a b =
+  sorted_bindings a = sorted_bindings b && a.ty_cols = b.ty_cols && a.ty_dup = b.ty_dup
+
+let pp_col_ty ppf = function
+  | Typed ty -> Schema.pp_attr_ty ppf ty
+  | Opaque -> Format.pp_print_string ppf "_"
+
+let pp_sep ppf () = Format.pp_print_string ppf ", "
+
+let pp ppf t =
+  (match t.ty_cols with
+  | Some cols ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep (fun ppf (n, ct) ->
+           Format.fprintf ppf "%s: %a" n pp_col_ty ct))
+      cols
+  | None ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep (fun ppf (b, c) -> Format.fprintf ppf "%s: %s" b c))
+      t.ty_bindings);
+  Format.fprintf ppf " %s" (dup_name t.ty_dup)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let ( let* ) = Result.bind
+
+let check_operand schema env = function
+  | Pred.Const _ -> Ok ()
+  | Pred.Self b ->
+    if List.mem_assoc b env then Ok () else fail "binding %s not in scope" b
+  | Pred.Field (b, f) -> (
+    match List.assoc_opt b env with
+    | None -> fail "binding %s not in scope" b
+    | Some cls -> (
+      match Schema.attr_ty schema ~cls f with
+      | None -> fail "class %s has no attribute %s" cls f
+      | Some _ -> Ok ()))
+
+let check_pred schema env pred =
+  List.fold_left
+    (fun acc (a : Pred.atom) ->
+      let* () = acc in
+      let* () = check_operand schema env a.Pred.lhs in
+      check_operand schema env a.Pred.rhs)
+    (Ok ()) pred
+
+let operand_ty schema env = function
+  | Pred.Const (Value.Bool _) -> Ok (Typed Schema.Bool)
+  | Pred.Const (Value.Int _) -> Ok (Typed Schema.Int)
+  | Pred.Const (Value.Float _) -> Ok (Typed Schema.Float)
+  | Pred.Const (Value.Str _) -> Ok (Typed Schema.String)
+  | Pred.Const (Value.Date _) -> Ok (Typed Schema.Date)
+  | Pred.Const (Value.Null | Value.Ref _ | Value.Set _) -> Ok Opaque
+  | Pred.Self b -> (
+    match List.assoc_opt b env with
+    | Some cls -> Ok (Typed (Schema.Ref cls))
+    | None -> fail "binding %s not in scope" b)
+  | Pred.Field (b, f) -> (
+    match List.assoc_opt b env with
+    | None -> fail "binding %s not in scope" b
+    | Some cls -> (
+      match Schema.attr_ty schema ~cls f with
+      | Some ty -> Ok (Typed ty)
+      | None -> fail "class %s has no attribute %s" cls f))
+
+let unprojected what (i : t) =
+  match i.ty_cols with
+  | None -> Ok i.ty_bindings
+  | Some _ -> fail "%s over a projection" what
+
+let introduce env b cls =
+  if List.mem_assoc b env then fail "binding %s introduced twice" b
+  else Ok (env @ [ (b, cls) ])
+
+let env_of bindings = { ty_bindings = bindings; ty_cols = None; ty_dup = Set_sem }
+
+let infer_op cat (op : Logical.op) (inputs : t list) : (t, string) result =
+  let schema = Catalog.schema cat in
+  match op, inputs with
+  | Logical.Get { coll; binding }, [] -> (
+    match Catalog.find_collection cat coll with
+    | None -> fail "unknown collection %s" coll
+    | Some co -> Ok { (env_of [ (binding, co.Catalog.co_class) ]) with ty_dup = Set_sem })
+  | Logical.Select pred, [ i ] ->
+    let* env = unprojected "Select" i in
+    let* () = check_pred schema env pred in
+    Ok i
+  | Logical.Project ps, [ i ] ->
+    let* env = unprojected "Project" i in
+    let* cols =
+      List.fold_left
+        (fun acc (p : Logical.proj) ->
+          let* cols = acc in
+          if List.mem_assoc p.Logical.p_name cols then
+            fail "Project: duplicate output column %s" p.Logical.p_name
+          else
+            let* ct = operand_ty schema env p.Logical.p_expr in
+            Ok (cols @ [ (p.Logical.p_name, ct) ]))
+        (Ok []) ps
+    in
+    let used =
+      List.concat_map (fun (p : Logical.proj) -> Pred.bindings_of_operand p.Logical.p_expr) ps
+    in
+    let kept = List.filter (fun (b, _) -> List.mem b used) env in
+    (* Distinctness survives a projection only when every binder's
+       identity is retained verbatim: then output tuples are injective
+       images of input tuples. Anything weaker may merge rows. *)
+    let keeps_identity b =
+      List.exists (fun (p : Logical.proj) -> p.Logical.p_expr = Pred.Self b) ps
+    in
+    let ty_dup =
+      if i.ty_dup = Set_sem && List.for_all (fun (b, _) -> keeps_identity b) env then
+        Set_sem
+      else Bag_sem
+    in
+    Ok { ty_bindings = kept; ty_cols = Some cols; ty_dup }
+  | Logical.Join pred, [ l; r ] ->
+    let* envl = unprojected "Join" l in
+    let* envr = unprojected "Join" r in
+    let* env =
+      List.fold_left
+        (fun acc (b, cls) ->
+          let* env = acc in
+          introduce env b cls)
+        (Ok envl) envr
+    in
+    let* () = check_pred schema env pred in
+    let ty_dup = if l.ty_dup = Set_sem && r.ty_dup = Set_sem then Set_sem else Bag_sem in
+    Ok { ty_bindings = env; ty_cols = None; ty_dup }
+  | Logical.Cross, [ l; r ] ->
+    let* envl = unprojected "Cross" l in
+    let* envr = unprojected "Cross" r in
+    let* env =
+      List.fold_left
+        (fun acc (b, cls) ->
+          let* env = acc in
+          introduce env b cls)
+        (Ok envl) envr
+    in
+    let ty_dup = if l.ty_dup = Set_sem && r.ty_dup = Set_sem then Set_sem else Bag_sem in
+    Ok { ty_bindings = env; ty_cols = None; ty_dup }
+  | Logical.Mat { src; field; out }, [ i ] ->
+    let* env = unprojected "Mat" i in
+    (match List.assoc_opt src env with
+    | None -> fail "Mat: binding %s not in scope" src
+    | Some cls ->
+      let* target =
+        match field with
+        | None -> Ok cls
+        | Some field -> (
+          match Schema.attr_ty schema ~cls field with
+          | Some (Schema.Ref target) -> Ok target
+          | Some ty ->
+            fail "Mat: %s.%s is %a, not a single-valued reference" cls field
+              Schema.pp_attr_ty ty
+          | None -> fail "Mat: class %s has no attribute %s" cls field)
+      in
+      let* env = introduce env out target in
+      (* one output row per input row: multiplicities are preserved *)
+      Ok { ty_bindings = env; ty_cols = None; ty_dup = i.ty_dup })
+  | Logical.Unnest { src; field; out }, [ i ] ->
+    let* env = unprojected "Unnest" i in
+    (match List.assoc_opt src env with
+    | None -> fail "Unnest: binding %s not in scope" src
+    | Some cls -> (
+      match Schema.attr_ty schema ~cls field with
+      | Some (Schema.Set_of (Schema.Ref target)) ->
+        let* env = introduce env out target in
+        (* set elements are distinct, so each input row fans out to
+           distinct (row, element) pairs: multiplicities are preserved *)
+        Ok { ty_bindings = env; ty_cols = None; ty_dup = i.ty_dup }
+      | Some ty ->
+        fail "Unnest: %s.%s is %a, not a set of references" cls field Schema.pp_attr_ty ty
+      | None -> fail "Unnest: class %s has no attribute %s" cls field))
+  | (Logical.Union | Logical.Intersect | Logical.Difference), [ l; r ] ->
+    let what =
+      match op with
+      | Logical.Union -> "Union"
+      | Logical.Intersect -> "Intersect"
+      | _ -> "Difference"
+    in
+    let* envl = unprojected what l in
+    let* envr = unprojected what r in
+    let sorted env = List.sort (fun (a, _) (b, _) -> String.compare a b) env in
+    if sorted envl <> sorted envr then fail "%s: inputs have different scopes" what
+    else
+      (* the hash-based set algorithms deduplicate their output *)
+      Ok { ty_bindings = envl; ty_cols = None; ty_dup = Set_sem }
+  | _ -> fail "malformed expression (wrong arity for %a)" Logical.pp_op op
+
+let rec infer cat (e : Logical.t) =
+  let* itys =
+    List.fold_left
+      (fun acc i ->
+        let* tys = acc in
+        let* ty = infer cat i in
+        Ok (tys @ [ ty ]))
+      (Ok []) e.Logical.inputs
+  in
+  infer_op cat e.Logical.op itys
+
+(* The schema of the rows the executor will actually emit: named columns
+   at a projection root, (binding, object reference) pairs otherwise —
+   mirrors Executor.rows_of. *)
+let output_schema cat e =
+  let* ty = infer cat e in
+  match ty.ty_cols with
+  | Some cols -> Ok cols
+  | None -> Ok (List.map (fun (b, cls) -> (b, Typed (Schema.Ref cls))) ty.ty_bindings)
+
+let rec value_matches ct (v : Value.t) =
+  match ct, v with
+  | _, Value.Null -> true (* missing fields evaluate to Null at any type *)
+  | Opaque, _ -> true
+  | Typed Schema.Bool, Value.Bool _ -> true
+  | Typed Schema.Int, Value.Int _ -> true
+  | Typed Schema.Float, (Value.Float _ | Value.Int _) -> true
+  | Typed Schema.String, Value.Str _ -> true
+  | Typed Schema.Date, Value.Date _ -> true
+  | Typed (Schema.Ref _), Value.Ref _ -> true
+  | Typed (Schema.Set_of ty), Value.Set vs -> List.for_all (value_matches (Typed ty)) vs
+  | Typed _, _ -> false

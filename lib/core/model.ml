@@ -26,6 +26,14 @@ module M = struct
     let pp = Lprops.pp
   end
 
+  module Typ = struct
+    type t = Oodb_algebra.Typing.t
+
+    let equal = Oodb_algebra.Typing.equal
+
+    let pp = Oodb_algebra.Typing.pp
+  end
+
   module Pprop = Physprop
 
   module Cost = Oodb_cost.Cost

@@ -6,6 +6,7 @@ module M : Volcano.MODEL
   with type Op.t = Oodb_algebra.Logical.op
    and type Alg.t = Physical.t
    and type Lprop.t = Oodb_cost.Lprops.t
+   and type Typ.t = Oodb_algebra.Typing.t
    and type Pprop.t = Physprop.t
    and type Cost.t = Oodb_cost.Cost.t
 

@@ -19,6 +19,12 @@ let spec (options : Options.t) cat =
     implementations = Irules.all cfg cat;
     enforcers = Enforcers.all cfg cat }
 
+(* The memo-wide type invariant (on by default through
+   [Options.verify]): every multi-expression any rule interns must
+   typecheck against the catalog and derive its group's type. *)
+let typing_hook (options : Options.t) cat =
+  if options.Options.verify then Some (Oodb_algebra.Typing.infer_op cat) else None
+
 let prepare options cat expr =
   (match Logical.well_formed cat expr with
   | Ok () -> ()
@@ -45,7 +51,8 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty)
   let result =
     Oodb_util.Span.with_span spans ~cat:"optimizer" "optimize" (fun () ->
         Engine.run ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-          ~initial_limit ?closure_fuel ?trace ?spans spec (expr_of_logical expr) ~required)
+          ~initial_limit ?closure_fuel ?trace ?spans
+          ?typing:(typing_hook options cat) spec (expr_of_logical expr) ~required)
   in
   let t1 = Sys.time () in
   lint options cat ~required result.Engine.plan;
@@ -59,7 +66,7 @@ let optimize_batch ?(options = Options.default) ?closure_fuel ?trace ?spans cat 
   let spec = spec options cat in
   let s =
     Engine.session ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-      ?closure_fuel ?trace ?spans spec
+      ?closure_fuel ?trace ?spans ?typing:(typing_hook options cat) spec
   in
   (* Register every root before solving any of them: the shared memo then
      reaches its full logical closure once, and a subexpression two

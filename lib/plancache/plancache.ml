@@ -18,6 +18,7 @@ type t = {
   mem : entry Lru.t;
   cache_dir : string option;
   mutable disk_hits : int;
+  mutable disk_rejects : int;
 }
 
 let default_capacity = 256
@@ -30,7 +31,7 @@ let rec mkdirs d =
 
 let create ?(capacity = default_capacity) ?dir () =
   Option.iter mkdirs dir;
-  { mem = Lru.create ~capacity; cache_dir = dir; disk_hits = 0 }
+  { mem = Lru.create ~capacity; cache_dir = dir; disk_hits = 0; disk_rejects = 0 }
 
 let of_env ?capacity () =
   match Sys.getenv_opt "OODB_PLANCACHE_DIR" with
@@ -80,7 +81,11 @@ let disk_write d hex e =
 (* ------------------------------------------------------------------ *)
 (* Lookup / insert                                                     *)
 
-let lookup t fp =
+(* [validate] guards the disk tier only: in-memory entries were produced
+   (and plan-linted) by this process, but a disk entry may predate a
+   catalog or format change, so a validation failure deletes the file
+   and degrades to a miss. *)
+let lookup ?(validate = fun _ -> true) t fp =
   let hex = Fingerprint.to_hex fp in
   match Lru.find t.mem hex with
   | Some _ as hit -> hit
@@ -91,9 +96,16 @@ let lookup t fp =
       match disk_read d hex with
       | None -> None
       | Some e ->
-        t.disk_hits <- t.disk_hits + 1;
-        ignore (Lru.add t.mem hex e : string option);
-        Some e))
+        if validate e then begin
+          t.disk_hits <- t.disk_hits + 1;
+          ignore (Lru.add t.mem hex e : string option);
+          Some e
+        end
+        else begin
+          t.disk_rejects <- t.disk_rejects + 1;
+          (try Sys.remove (entry_path d hex) with Sys_error _ -> ());
+          None
+        end))
 
 let insert_counting t fp e =
   let hex = Fingerprint.to_hex fp in
@@ -113,6 +125,7 @@ type stats = {
   insertions : int;
   evictions : int;
   disk_hits : int;
+  disk_rejects : int;
   entries : int;
   capacity : int;
 }
@@ -126,6 +139,7 @@ let stats t =
     insertions = c.Lru.insertions;
     evictions = c.Lru.evictions;
     disk_hits = t.disk_hits;
+    disk_rejects = t.disk_rejects;
     entries = Lru.length t.mem;
     capacity = Lru.capacity t.mem }
 
@@ -136,6 +150,7 @@ let stats_json s =
       ("insertions", Json.Int s.insertions);
       ("evictions", Json.Int s.evictions);
       ("disk_hits", Json.Int s.disk_hits);
+      ("disk_rejects", Json.Int s.disk_rejects);
       ("entries", Json.Int s.entries);
       ("capacity", Json.Int s.capacity) ]
 
@@ -177,6 +192,15 @@ let outcome_of_cold (o : Optimizer.outcome) =
 let entry_of_cold hex (o : Optimizer.outcome) =
   { e_fingerprint = hex; e_plan = o.Optimizer.plan; e_stats = o.Optimizer.stats }
 
+(* A disk-tier plan must still typecheck against the current catalog
+   (plan lint re-derives every operator's bindings and fields): the
+   cache directory can outlive a schema or index change the fingerprint
+   did not capture. *)
+let entry_typechecks cat e =
+  match e.e_plan with
+  | None -> true
+  | Some p -> ( match Open_oodb.Planlint.plan cat p with Ok () -> true | Error _ -> false)
+
 let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry ?spans
     (t : t) cat expr =
   if not options.Options.cache then begin
@@ -187,15 +211,18 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry
   else begin
     let t0 = Sys.time () in
     let disk_before = t.disk_hits in
+    let rejects_before = t.disk_rejects in
     let fp =
       Span.with_span spans ~cat:"plancache" "fingerprint" (fun () ->
           Fingerprint.make ~catalog:cat ~options ~required expr)
     in
     let found =
-      Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () -> lookup t fp)
+      Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () ->
+          lookup ~validate:(entry_typechecks cat) t fp)
     in
     (* Latency to a hit/miss verdict: fingerprinting plus both tiers. *)
     mhist registry "plancache/lookup_seconds" (Sys.time () -. t0);
+    if t.disk_rejects > rejects_before then mincr registry "plancache/disk_reject";
     match found with
     | Some e ->
       mincr registry "plancache/hit";
@@ -213,7 +240,7 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry
   end
 
 let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?registry
-    ?spans t cat qs =
+    ?spans (t : t) cat qs =
   if not options.Options.cache then begin
     List.iter (fun _ -> mincr registry "plancache/bypass") qs;
     List.map outcome_of_cold
@@ -233,11 +260,14 @@ let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?regi
                Span.with_span spans ~cat:"plancache" "fingerprint" (fun () ->
                    Fingerprint.make ~catalog:cat ~options ~required q)
              in
+             let rejects_before = t.disk_rejects in
              let found =
                Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () ->
-                   lookup t fp)
+                   lookup ~validate:(entry_typechecks cat) t fp)
              in
              mhist registry "plancache/lookup_seconds" (Sys.time () -. t0);
+             if t.disk_rejects > rejects_before then
+               mincr registry "plancache/disk_reject";
              match found with
              | Some e ->
                mincr registry "plancache/hit";

@@ -45,6 +45,10 @@ type stats = {
   insertions : int;
   evictions : int;  (** in-memory LRU evictions (disk entries persist) *)
   disk_hits : int;  (** subset of [hits] that came from the disk tier *)
+  disk_rejects : int;
+      (** disk entries rejected by validation (e.g. the plan no longer
+          typechecks against the current catalog); each is deleted and
+          counted as a miss *)
   entries : int;
   capacity : int;
 }
@@ -64,8 +68,13 @@ type entry = {
   e_stats : Engine.stats;  (** statistics of the cold search that produced it *)
 }
 
-val lookup : t -> Fingerprint.t -> entry option
-(** Memory first, then disk (a disk hit is promoted into memory). *)
+val lookup : ?validate:(entry -> bool) -> t -> Fingerprint.t -> entry option
+(** Memory first, then disk (a disk hit is promoted into memory).
+    [validate] guards the disk tier only: a disk entry that fails it is
+    deleted and the lookup degrades to a miss. The cache-aware entry
+    points pass a plan-lint check against the current catalog, so a
+    stale directory (schema drift, dropped index) cannot resurrect a
+    plan that no longer typechecks. *)
 
 val insert : t -> Fingerprint.t -> entry -> unit
 

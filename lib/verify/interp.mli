@@ -1,0 +1,33 @@
+(** Reference denotational interpreter for the logical algebra.
+
+    The dumbest possible evaluator — nested loops over object stores, no
+    indexes, no batching — used as ground truth by the rule certifier
+    ({!Certify}): two logically equivalent expressions must produce the
+    same row multiset here, and an executed physical plan must reproduce
+    the interpreter's answer for the query it implements.
+
+    Where the algebra leaves latitude, semantics follow the execution
+    engine: Mat over a Null reference drops the row, Unnest of Null is
+    empty, missing fields read as Null, ordered comparisons with Null
+    are false, and set operations deduplicate. *)
+
+type env = (string * Oodb_storage.Value.oid) list
+
+type row = (string * Oodb_storage.Value.t) list
+
+val eval : Oodb_storage.Store.t -> Oodb_algebra.Logical.t -> env list
+(** Denotation of an expression as a multiset (list) of binding
+    environments. Raises [Invalid_argument] on a malformed tree. *)
+
+val rows : Oodb_exec.Db.t -> Oodb_algebra.Logical.t -> row list
+(** {!eval} followed by the executor's row-extraction convention: a root
+    projection evaluates its columns, any other root yields
+    (binding, reference) pairs. *)
+
+val canon_rows : row list -> row list
+(** Canonical multiset form (rows and columns sorted). *)
+
+val same_rows : row list -> row list -> bool
+(** Multiset equality of two row lists. *)
+
+val pp_rows : Format.formatter -> row list -> unit

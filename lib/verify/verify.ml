@@ -4,6 +4,7 @@ module Options = Open_oodb.Options
 module Optimizer = Open_oodb.Optimizer
 module Catalog = Oodb_catalog.Catalog
 module Logical = Oodb_algebra.Logical
+module Typing = Oodb_algebra.Typing
 module Lprops = Oodb_cost.Lprops
 module Estimator = Oodb_cost.Estimator
 module Cost = Oodb_cost.Cost
@@ -81,6 +82,85 @@ let memo ?(card_rtol = 1e-6) ~config cat ctx =
                    { group_card = glp.Lprops.card; mexpr_card = derived.Lprops.card }))
         (Engine.group_exprs ctx g))
     (Engine.groups ctx);
+  match List.rev !acc with [] -> Ok () | vs -> Error vs
+
+(* ------------------------------------------------------------------ *)
+(* Memo-wide type consistency (post hoc)                                *)
+
+(* The same invariant the engine enforces online through its typing hook
+   (Options.verify), recomputed from scratch over a finished memo — the
+   pass `oodb lint` uses on memos built with verification off. Group
+   types are solved to a fixpoint because closure can make a group refer
+   to groups created after it (select-split interns fresh intermediate
+   groups and links them from the old one). *)
+
+type typ_detail =
+  | Typ_error of string
+  | Typ_mismatch of { group_typ : Typing.t; mexpr_typ : Typing.t }
+  | Typ_unresolved
+
+type typ_violation = {
+  tv_group : int;
+  tv_mexpr : string;
+  tv_detail : typ_detail;
+}
+
+let pp_typ_violation ppf v =
+  let detail ppf = function
+    | Typ_error msg -> Format.fprintf ppf "ill-typed: %s" msg
+    | Typ_mismatch { group_typ; mexpr_typ } ->
+      Format.fprintf ppf "type %a, group says %a" Typing.pp mexpr_typ Typing.pp group_typ
+    | Typ_unresolved -> Format.pp_print_string ppf "type of an input group never resolved"
+  in
+  Format.fprintf ppf "group %d: %s is %a" v.tv_group v.tv_mexpr detail v.tv_detail
+
+let mexpr_name (m : Engine.mexpr) =
+  Format.asprintf "%a(%s)" Logical.pp_op m.Engine.mop
+    (String.concat ", " (List.map string_of_int m.Engine.minputs))
+
+let types cat ctx =
+  let tys : (int, Typing.t) Hashtbl.t = Hashtbl.create 64 in
+  let gs = Engine.groups ctx in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun g ->
+        if not (Hashtbl.mem tys g) then
+          List.iter
+            (fun (m : Engine.mexpr) ->
+              if not (Hashtbl.mem tys g) then
+                let itys = List.map (Hashtbl.find_opt tys) m.Engine.minputs in
+                if List.for_all Option.is_some itys then
+                  match Typing.infer_op cat m.Engine.mop (List.map Option.get itys) with
+                  | Ok ty ->
+                    Hashtbl.add tys g ty;
+                    changed := true
+                  | Error _ -> ())
+            (Engine.group_exprs ctx g))
+      gs
+  done;
+  let acc = ref [] in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun (m : Engine.mexpr) ->
+          let push d =
+            acc := { tv_group = g; tv_mexpr = mexpr_name m; tv_detail = d } :: !acc
+          in
+          let itys = List.map (Hashtbl.find_opt tys) m.Engine.minputs in
+          if not (List.for_all Option.is_some itys) then push Typ_unresolved
+          else
+            match Typing.infer_op cat m.Engine.mop (List.map Option.get itys) with
+            | Error msg -> push (Typ_error msg)
+            | Ok ty -> (
+              match Hashtbl.find_opt tys g with
+              | Some gty when not (Typing.equal ty gty) ->
+                push (Typ_mismatch { group_typ = gty; mexpr_typ = ty })
+              | Some _ -> ()
+              | None -> push Typ_unresolved))
+        (Engine.group_exprs ctx g))
+    gs;
   match List.rev !acc with [] -> Ok () | vs -> Error vs
 
 (* ------------------------------------------------------------------ *)

@@ -70,6 +70,39 @@ val memo :
     a non-equivalent one merges groups with different properties and is
     flagged here without ever executing a plan. *)
 
+(** {1 Memo-wide type consistency} *)
+
+type typ_detail =
+  | Typ_error of string
+      (** the multi-expression does not typecheck against the catalog *)
+  | Typ_mismatch of {
+      group_typ : Oodb_algebra.Typing.t;
+      mexpr_typ : Oodb_algebra.Typing.t;
+    }
+      (** it typechecks, but to a different type than its group — some
+          rule changed the schema, scope, or duplicate semantics *)
+  | Typ_unresolved
+      (** an input group's type could not be established (itself a
+          consequence of ill-typed expressions upstream) *)
+
+type typ_violation = {
+  tv_group : int;
+  tv_mexpr : string;
+  tv_detail : typ_detail;
+}
+
+val pp_typ_violation : Format.formatter -> typ_violation -> unit
+
+val types :
+  Oodb_catalog.Catalog.t -> Engine.ctx -> (unit, typ_violation list) result
+(** Post-hoc form of the memo-wide type invariant: infer one type per
+    group (to a fixpoint, since groups can reference later-created
+    groups) and require every multi-expression to derive exactly its
+    group's type under {!Oodb_algebra.Typing.infer_op}. This is the same
+    judgment the engine enforces online while optimizing when
+    [Options.verify] is set; running it here covers memos built with
+    verification off, e.g. by [oodb lint]. *)
+
 (** {1 Cost sanity} *)
 
 type cost_violation = {

@@ -27,6 +27,14 @@ module type MODEL = sig
     val pp : Format.formatter -> t -> unit
   end
 
+  module Typ : sig
+    type t
+
+    val equal : t -> t -> bool
+
+    val pp : Format.formatter -> t -> unit
+  end
+
   module Pprop : sig
     type t
 
@@ -59,6 +67,8 @@ end
 module Make (M : MODEL) = struct
   type group = int
 
+  exception Type_violation of string
+
   type mexpr = { mop : M.Op.t; minputs : group list }
 
   type build =
@@ -87,6 +97,9 @@ module Make (M : MODEL) = struct
     gid : int;
     mutable gexprs : mexpr list; (* reverse insertion order, canonical inputs *)
     mutable glprop : M.Lprop.t;
+    mutable gtyp : M.Typ.t option;
+        (* inferred type, set by the first interned mexpr when a typing
+           hook is installed; every later mexpr and merge must agree *)
   }
 
   type mutable_stats = {
@@ -115,6 +128,10 @@ module Make (M : MODEL) = struct
     tracer : (event -> unit) option;
         (* [None] is the fast path: every emission site is a single match
            on this field and constructs no event *)
+    typing : (M.Op.t -> M.Typ.t list -> (M.Typ.t, string) result) option;
+        (* the memo-wide type invariant: when installed, every mexpr must
+           derive a type, and all mexprs of one group must derive equal
+           types; violations raise [Type_violation] *)
   }
 
   let rule_counter ctx name =
@@ -172,7 +189,7 @@ module Make (M : MODEL) = struct
     let gid = ctx.n_groups in
     ctx.n_groups <- gid + 1;
     ctx.parents.(gid) <- gid;
-    ctx.groups.(gid) <- Some { gid; gexprs = []; glprop = lprop };
+    ctx.groups.(gid) <- Some { gid; gexprs = []; glprop = lprop; gtyp = None };
     (match ctx.tracer with None -> () | Some f -> f (Group_created { group = gid }));
     gid
 
@@ -191,6 +208,8 @@ module Make (M : MODEL) = struct
         (List.map (find ctx) gs)
 
   let group_lprop ctx g = (group_data ctx g).glprop
+
+  let group_typ ctx g = (group_data ctx g).gtyp
 
   (* Canonical (union-find root) group ids, in creation order. *)
   let groups ctx =
@@ -222,6 +241,15 @@ module Make (M : MODEL) = struct
       ctx.generation <- ctx.generation + 1;
       (match ctx.tracer with None -> () | Some f -> f (Groups_merged { winner; loser }));
       let wd = group_data ctx winner and ld = group_data ctx loser in
+      (match wd.gtyp, ld.gtyp with
+      | Some a, Some b when not (M.Typ.equal a b) ->
+        raise
+          (Type_violation
+             (Format.asprintf
+                "merge of groups %d and %d with incompatible types: %a vs %a" winner loser
+                M.Typ.pp a M.Typ.pp b))
+      | None, (Some _ as t) -> wd.gtyp <- t
+      | _ -> ());
       ctx.parents.(loser) <- winner;
       wd.gexprs <- List.filter (fun m -> not (self_referential ctx winner m)) wd.gexprs;
       List.iter
@@ -236,6 +264,38 @@ module Make (M : MODEL) = struct
         (List.rev ld.gexprs);
       ld.gexprs <- []
     end
+
+  (* Memo-wide type invariant: derive the type of [m] from its input
+     groups' types and check it against the group's; raises
+     [Type_violation] on any failure. Inputs always carry a type when a
+     hook is installed — a group is created together with its first
+     mexpr, which sets it. *)
+  let typecheck_mexpr ctx gd m =
+    match ctx.typing with
+    | None -> ()
+    | Some derive -> (
+      let input_typ g' =
+        match (group_data ctx g').gtyp with
+        | Some ty -> ty
+        | None ->
+          raise
+            (Type_violation
+               (Format.asprintf "input group %d of %a has no inferred type" g' M.Op.pp
+                  m.mop))
+      in
+      match derive m.mop (List.map input_typ m.minputs) with
+      | Error msg ->
+        raise
+          (Type_violation (Format.asprintf "%a is ill-typed: %s" M.Op.pp m.mop msg))
+      | Ok ty -> (
+        match gd.gtyp with
+        | None -> gd.gtyp <- Some ty
+        | Some gty ->
+          if not (M.Typ.equal ty gty) then
+            raise
+              (Type_violation
+                 (Format.asprintf "group %d has type %a but %a derives %a" gd.gid
+                    M.Typ.pp gty M.Op.pp m.mop M.Typ.pp ty))))
 
   (* Add [m] to group [g]; returns the worklist entries to process and
      whether the expression was new anywhere in the memo. *)
@@ -253,6 +313,7 @@ module Make (M : MODEL) = struct
       let gd = group_data ctx g in
       if List.exists (fun m' -> mexpr_equal ctx m m') gd.gexprs then None
       else begin
+        typecheck_mexpr ctx gd m;
         gd.gexprs <- m :: gd.gexprs;
         Hashtbl.add ctx.mexpr_index (index_key ctx m) g;
         ctx.generation <- ctx.generation + 1;
@@ -629,7 +690,8 @@ module Make (M : MODEL) = struct
     ss_phys : entry Phys_tbl.t;
   }
 
-  let session ?(disabled = []) ?(pruning = true) ?closure_fuel ?trace ?spans spec =
+  let session ?(disabled = []) ?(pruning = true) ?closure_fuel ?trace ?spans ?typing spec
+      =
     let enabled name = not (List.mem name disabled) in
     let ctx =
       { parents = Array.init 64 (fun i -> i);
@@ -646,7 +708,8 @@ module Make (M : MODEL) = struct
             s_closure_complete = true };
         rule_tbl = Hashtbl.create 32;
         generation = 0;
-        tracer = trace }
+        tracer = trace;
+        typing }
     in
     { ss_spec = spec;
       ss_trules = List.filter (fun r -> enabled r.t_name) spec.transformations;
@@ -697,8 +760,8 @@ module Make (M : MODEL) = struct
     { plan; stats = snapshot_stats ctx; root = find ctx root; ctx }
 
   let run ?disabled ?pruning ?(initial_limit = M.Cost.infinite) ?closure_fuel ?trace ?spans
-      spec expr ~required =
-    let s = session ?disabled ?pruning ?closure_fuel ?trace ?spans spec in
+      ?typing spec expr ~required =
+    let s = session ?disabled ?pruning ?closure_fuel ?trace ?spans ?typing spec in
     let root = register s expr in
     solve s ~initial_limit root ~required
 

@@ -45,6 +45,16 @@ module type MODEL = sig
     val pp : Format.formatter -> t -> unit
   end
 
+  module Typ : sig
+    type t
+    (** inferred logical type of a group (schema, scoping, duplicate
+        semantics) — the currency of the memo-wide type invariant *)
+
+    val equal : t -> t -> bool
+
+    val pp : Format.formatter -> t -> unit
+  end
+
   module Pprop : sig
     type t
     (** physical property vector *)
@@ -81,6 +91,13 @@ end
 module Make (M : MODEL) : sig
   type group = int
   (** Equivalence class of logical expressions in the memo. *)
+
+  exception Type_violation of string
+  (** Raised (only when a [typing] hook is installed) the moment the
+      memo-wide type invariant breaks: a rule produced an expression
+      that does not typecheck, or whose type differs from its group's,
+      or two groups with different types were merged. The message names
+      the offending operator and both types. *)
 
   type mexpr = { mop : M.Op.t; minputs : group list }
   (** Multi-expression: an operator over input groups. *)
@@ -123,6 +140,11 @@ module Make (M : MODEL) : sig
     | Phys_memo_hit of { group : group; required : M.Pprop.t }
 
   val group_lprop : ctx -> group -> M.Lprop.t
+
+  val group_typ : ctx -> group -> M.Typ.t option
+  (** The group's inferred type; [None] when no [typing] hook was
+      installed for the session. With a hook installed, every group with
+      at least one multi-expression has a type. *)
 
   val group_exprs : ctx -> group -> mexpr list
   (** All multi-expressions currently in a group (logical closure runs to
@@ -227,6 +249,7 @@ module Make (M : MODEL) : sig
     ?closure_fuel:int ->
     ?trace:(event -> unit) ->
     ?spans:Oodb_util.Span.t ->
+    ?typing:(M.Op.t -> M.Typ.t list -> (M.Typ.t, string) Stdlib.result) ->
     spec ->
     session
   (** Fresh session with an empty memo. [closure_fuel] is a budget over
@@ -236,7 +259,16 @@ module Make (M : MODEL) : sig
       collects one hierarchical span per search phase — ["intern"] and
       ["logical-closure"] under each {!register}, ["physical-search"]
       under each {!solve} — category ["volcano"]; when absent no span
-      events are constructed. *)
+      events are constructed.
+
+      [typing] installs the memo-wide type invariant: the hook derives
+      the type of an operator from its input groups' types (or reports a
+      type error). Every interned multi-expression is then checked —
+      first mexpr of a group sets the group's type, every later one must
+      derive an equal type, and merged groups must agree — and any
+      failure raises {!Type_violation} at the exact rule firing that
+      caused it. When absent, no types are derived and interning cost is
+      unchanged. *)
 
   val session_ctx : session -> ctx
 
@@ -263,6 +295,7 @@ module Make (M : MODEL) : sig
     ?closure_fuel:int ->
     ?trace:(event -> unit) ->
     ?spans:Oodb_util.Span.t ->
+    ?typing:(M.Op.t -> M.Typ.t list -> (M.Typ.t, string) Stdlib.result) ->
     spec ->
     expr ->
     required:M.Pprop.t ->

@@ -235,3 +235,43 @@ let generate ?(scale = 1.0) ?buffer_pages () =
   db
 
 let generate_catalog_only ?scale () = Db.catalog (generate ?scale ~buffer_pages:64 ())
+
+(* ------------------------------------------------------------------ *)
+(* Enumerated micro-databases for bounded rule certification            *)
+
+(* Tiny instances (2–4 objects per extent) small enough for the
+   reference interpreter to evaluate both sides of a rewrite
+   exhaustively, yet wired differently enough across variants to exercise
+   empty/non-empty selections, dangling-free references, shared targets,
+   and team sets of different sizes. Reuses [build_data], so every
+   referential invariant of the full generator holds at micro scale. *)
+let micro ?(variant = 0) () =
+  let n k = 2 + ((variant + k) mod 3) in
+  let c =
+    { n_plants = n 0;
+      n_jobs = n 1;
+      n_depts = n 2;
+      n_persons = n 3;
+      n_capitals = n 4;
+      n_countries = n 5;
+      n_cities = n 6;
+      n_employees = n 7;
+      n_tasks = n 8;
+      n_info = 2;
+      (* tiny name pools force collisions, so equality predicates and the
+         workload's "Joe"/"Fred" lookups select real subsets *)
+      person_names = 2;
+      employee_names = 2;
+      task_times = 2;
+      team_size = 1 + (variant mod 3) }
+  in
+  let store = Store.create ~buffer_pages:64 () in
+  build_data store c;
+  let cat = measured_catalog store c in
+  let db = Db.create cat store in
+  build_indexes store db cat;
+  db
+
+let n_micro_variants = 6
+
+let micro_family () = List.init n_micro_variants (fun variant -> micro ~variant ())

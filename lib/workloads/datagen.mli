@@ -22,3 +22,16 @@ val generate : ?scale:float -> ?buffer_pages:int -> unit -> Oodb_exec.Db.t
 
 val generate_catalog_only : ?scale:float -> unit -> Oodb_catalog.Catalog.t
 (** The catalog that [generate] would pair with the data. *)
+
+val micro : ?variant:int -> unit -> Oodb_exec.Db.t
+(** A micro-database with 2–4 objects per extent, for bounded
+    (denotational) rule certification: small enough to evaluate both
+    sides of every rewrite exhaustively with the reference interpreter.
+    [variant] deterministically changes extent sizes, reference wiring,
+    and team-set sizes. Built through the same generator as {!generate},
+    so referential integrity holds. *)
+
+val n_micro_variants : int
+
+val micro_family : unit -> Oodb_exec.Db.t list
+(** The enumerated family [micro ~variant:0 .. n_micro_variants - 1]. *)

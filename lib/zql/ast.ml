@@ -3,6 +3,7 @@ module Value = Oodb_storage.Value
 type path = {
   p_root : string;
   p_steps : string list;
+  p_pos : Loc.t;  (* location of the path's first identifier *)
 }
 
 type expr =
@@ -20,6 +21,7 @@ and range = {
   r_class : string option;
   r_var : string;
   r_src : src;
+  r_pos : Loc.t;  (* location of the range's first token *)
 }
 
 and src =

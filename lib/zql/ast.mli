@@ -19,6 +19,10 @@
 type path = {
   p_root : string;  (** range variable *)
   p_steps : string list;  (** attribute steps, possibly empty *)
+  p_pos : Loc.t;
+      (** location of the path's first identifier ({!Loc.none} on
+          synthesized nodes) — carried into simplification so type
+          errors name the offending source position *)
 }
 
 type expr =
@@ -36,6 +40,7 @@ and range = {
   r_class : string option;  (** optional class annotation, as in [Employee e IN ...] *)
   r_var : string;
   r_src : src;
+  r_pos : Loc.t;  (** location of the range's first token *)
 }
 
 and src =

@@ -84,13 +84,31 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize input =
+(* 1-based line/column of a byte offset; inputs are query-sized, so the
+   rescan per token is immaterial. *)
+let loc_of input off =
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < off && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    input;
+  Loc.make ~line:!line ~col:(off - !bol + 1)
+
+let tokenize_pos input =
   let n = String.length input in
   let exception Lex_error of string in
   let pos = ref 0 in
   let peek () = if !pos < n then Some input.[!pos] else None in
   let advance () = incr pos in
-  let error fmt = Format.kasprintf (fun m -> raise (Lex_error m)) fmt in
+  let error_at off fmt =
+    Format.kasprintf
+      (fun m -> raise (Lex_error (Printf.sprintf "%s: %s" (Loc.to_string (loc_of input off)) m)))
+      fmt
+  in
+  let error fmt = error_at !pos fmt in
   let rec skip_ws () =
     match peek () with
     | Some (' ' | '\t' | '\n' | '\r') ->
@@ -154,7 +172,9 @@ let tokenize input =
   in
   let next_token () =
     skip_ws ();
-    match peek () with
+    let start = !pos in
+    let t =
+      match peek () with
     | None -> EOF
     | Some c when is_ident_start c -> lex_ident ()
     | Some c when is_digit c -> lex_number ()
@@ -183,21 +203,21 @@ let tokenize input =
         advance ();
         ANDAND
       end
-      else error "expected && at offset %d" (!pos - 1)
+      else error_at (!pos - 1) "expected &&"
     | Some '=' ->
       advance ();
       if peek () = Some '=' then begin
         advance ();
         EQEQ
       end
-      else error "expected == at offset %d (ZQL uses == for equality)" (!pos - 1)
+      else error_at (!pos - 1) "expected == (ZQL uses == for equality)"
     | Some '!' ->
       advance ();
       if peek () = Some '=' then begin
         advance ();
         NEQ
       end
-      else error "expected != at offset %d" (!pos - 1)
+      else error_at (!pos - 1) "expected !="
     | Some '<' ->
       advance ();
       if peek () = Some '=' then begin
@@ -212,15 +232,19 @@ let tokenize input =
         GE
       end
       else GT
-    | Some c -> error "unexpected character %C at offset %d" c !pos
+      | Some c -> error "unexpected character %C" c
+    in
+    (t, loc_of input start)
   in
   match
     let rec all acc =
       match next_token () with
-      | EOF -> List.rev (EOF :: acc)
+      | (EOF, _) as t -> List.rev (t :: acc)
       | t -> all (t :: acc)
     in
     all []
   with
   | tokens -> Ok tokens
   | exception Lex_error msg -> Error msg
+
+let tokenize input = Result.map (List.map fst) (tokenize_pos input)

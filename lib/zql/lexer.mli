@@ -34,6 +34,10 @@ type token =
 
 val token_name : token -> string
 
+val tokenize_pos : string -> ((token * Loc.t) list, string) result
+(** Whole-input tokenization with the source location of each token's
+    first character; keywords are case-insensitive, identifiers keep
+    their case. Errors carry a ["line L, column C"] prefix. *)
+
 val tokenize : string -> (token list, string) result
-(** Whole-input tokenization; keywords are case-insensitive, identifiers
-    keep their case. Errors carry a position message. *)
+(** {!tokenize_pos} without the locations. *)

@@ -2,26 +2,35 @@ module Value = Oodb_storage.Value
 
 exception Parse_error of string
 
-type state = { mutable tokens : Lexer.token list }
+type state = { mutable tokens : (Lexer.token * Loc.t) list }
 
-let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+let peek st = match st.tokens with [] -> Lexer.EOF | (t, _) :: _ -> t
+
+let peek_loc st = match st.tokens with [] -> Loc.none | (_, l) :: _ -> l
 
 let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
 
-let error fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+let error_at loc fmt =
+  Format.kasprintf
+    (fun m ->
+      raise (Parse_error (if Loc.is_none loc then m else Loc.to_string loc ^ ": " ^ m)))
+    fmt
+
+let error st fmt = error_at (peek_loc st) fmt
 
 let expect st tok =
   if peek st = tok then advance st
-  else error "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name (peek st))
+  else error st "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name (peek st))
 
 let ident st =
   match peek st with
   | Lexer.IDENT s ->
     advance st;
     s
-  | t -> error "expected identifier but found %s" (Lexer.token_name t)
+  | t -> error st "expected identifier but found %s" (Lexer.token_name t)
 
 let parse_path st =
+  let p_pos = peek_loc st in
   let root = ident st in
   let rec steps acc =
     if peek st = Lexer.DOT then begin
@@ -30,7 +39,7 @@ let parse_path st =
     end
     else List.rev acc
   in
-  { Ast.p_root = root; p_steps = steps [] }
+  { Ast.p_root = root; p_steps = steps []; p_pos }
 
 let parse_literal st =
   match peek st with
@@ -57,7 +66,7 @@ let parse_literal st =
       | Lexer.INT i ->
         advance st;
         i
-      | t -> error "expected integer in date(...) but found %s" (Lexer.token_name t)
+      | t -> error st "expected integer in date(...) but found %s" (Lexer.token_name t)
     in
     let y = int_arg () in
     expect st Lexer.COMMA;
@@ -66,7 +75,7 @@ let parse_literal st =
     let d = int_arg () in
     expect st Lexer.RPAREN;
     Value.Date (Value.date_of_ymd y m d)
-  | t -> error "expected literal but found %s" (Lexer.token_name t)
+  | t -> error st "expected literal but found %s" (Lexer.token_name t)
 
 let parse_expr st =
   match peek st with
@@ -82,7 +91,7 @@ let parse_cmp_op st =
     | Lexer.LE -> Ast.Le
     | Lexer.GT -> Ast.Gt
     | Lexer.GE -> Ast.Ge
-    | t -> error "expected comparison operator but found %s" (Lexer.token_name t)
+    | t -> error st "expected comparison operator but found %s" (Lexer.token_name t)
   in
   advance st;
   op
@@ -147,6 +156,7 @@ and parse_items st =
 and parse_ranges st =
   let range () =
     (* [Class var IN src] or [var IN src] *)
+    let r_pos = peek_loc st in
     let first = ident st in
     let r_class, r_var =
       match peek st with
@@ -159,7 +169,7 @@ and parse_ranges st =
       if src_path.Ast.p_steps = [] then Ast.Coll src_path.Ast.p_root
       else Ast.Set_path src_path
     in
-    { Ast.r_class; r_var; r_src }
+    { Ast.r_class; r_var; r_src; r_pos }
   in
   let rec more acc =
     if peek st = Lexer.COMMA then begin
@@ -195,14 +205,18 @@ and parse_cond st =
   more (atom ())
 
 let parse input =
-  match Lexer.tokenize input with
+  match Lexer.tokenize_pos input with
   | Error msg -> Error msg
   | Ok tokens -> (
     let st = { tokens } in
     match parse_query st with
     | q ->
       if peek st = Lexer.EOF then Ok q
-      else Error (Printf.sprintf "trailing input: %s" (Lexer.token_name (peek st)))
+      else
+        Error
+          (Printf.sprintf "%s: trailing input: %s"
+             (Loc.to_string (peek_loc st))
+             (Lexer.token_name (peek st)))
     | exception Parse_error msg -> Error msg)
 
 let parse_exn input =

@@ -8,6 +8,18 @@ exception Simplify_error of string
 
 let error fmt = Format.kasprintf (fun m -> raise (Simplify_error m)) fmt
 
+(* Errors that can be traced to a source token carry its location;
+   [Loc.none] (synthesized AST nodes) degrades to the bare message. *)
+let error_at (loc : Loc.t) fmt =
+  Format.kasprintf
+    (fun m ->
+      raise (Simplify_error (if Loc.is_none loc then m else Loc.to_string loc ^ ": " ^ m)))
+    fmt
+
+let pos_of_expr = function
+  | Ast.Path p -> p.Ast.p_pos
+  | Ast.Lit _ -> Loc.none
+
 type state = {
   cat : Catalog.t;
   mutable tree : Logical.t;
@@ -17,25 +29,25 @@ type state = {
 
 let schema st = Catalog.schema st.cat
 
-let class_of st b =
+let class_of ?(at = Loc.none) st b =
   match List.assoc_opt b st.env with
   | Some cls -> cls
-  | None -> error "unknown range variable %s" b
+  | None -> error_at at "unknown range variable %s" b
 
-let bind st b cls =
-  if List.mem_assoc b st.env then error "range variable %s defined twice" b;
+let bind ?(at = Loc.none) st b cls =
+  if List.mem_assoc b st.env then error_at at "range variable %s defined twice" b;
   st.env <- st.env @ [ (b, cls) ]
 
 (* Introduce [Mat src.field] (once) and return the output binding. *)
-let add_mat st ~src ~field =
+let add_mat ?(at = Loc.none) st ~src ~field =
   let out = src ^ "." ^ field in
   if not (List.mem out st.mats) then begin
     st.tree <- Logical.mat ~out ~src ~field st.tree;
     st.mats <- out :: st.mats;
-    let cls = class_of st src in
+    let cls = class_of ~at st src in
     match Schema.follow (schema st) ~cls field with
-    | Some target -> bind st out target
-    | None -> error "%s.%s is not a reference" cls field
+    | Some target -> bind ~at st out target
+    | None -> error_at at "%s.%s is not a reference" cls field
   end;
   out
 
@@ -43,15 +55,16 @@ let add_mat st ~src ~field =
    object the last step applies to; intermediate steps must be
    single-valued references and introduce Mats. *)
 let resolve_prefix st (p : Ast.path) =
+  let at = p.Ast.p_pos in
   List.fold_left
     (fun binding step ->
-      let cls = class_of st binding in
+      let cls = class_of ~at st binding in
       match Schema.attr_ty (schema st) ~cls step with
-      | Some (Schema.Ref _) -> add_mat st ~src:binding ~field:step
+      | Some (Schema.Ref _) -> add_mat ~at st ~src:binding ~field:step
       | Some ty ->
-        error "path step %s.%s has type %a, expected a single-valued reference" binding step
-          Schema.pp_attr_ty ty
-      | None -> error "class %s has no attribute %s" cls step)
+        error_at at "path step %s.%s has type %a, expected a single-valued reference" binding
+          step Schema.pp_attr_ty ty
+      | None -> error_at at "class %s has no attribute %s" cls step)
     p.Ast.p_root
     (match p.Ast.p_steps with [] -> [] | steps -> List.filteri (fun i _ -> i < List.length steps - 1) steps)
 
@@ -81,13 +94,14 @@ let sty_of_lit = function
 let operand st = function
   | Ast.Lit v -> (Pred.Const v, sty_of_lit v)
   | Ast.Path p -> (
+    let at = p.Ast.p_pos in
     match last_step p with
-    | None -> (Pred.Self p.Ast.p_root, S_obj (class_of st p.Ast.p_root))
+    | None -> (Pred.Self p.Ast.p_root, S_obj (class_of ~at st p.Ast.p_root))
     | Some last ->
       let binding = resolve_prefix st p in
-      let cls = class_of st binding in
+      let cls = class_of ~at st binding in
       (match Schema.attr_ty (schema st) ~cls last with
-      | None -> error "class %s has no attribute %s" cls last
+      | None -> error_at at "class %s has no attribute %s" cls last
       | Some ty -> (Pred.Field (binding, last), sty_of_attr ty)))
 
 let compatible a b =
@@ -107,43 +121,45 @@ let cmp_of = function
 let fresh_ref_binding v = "&" ^ v
 
 let rec add_range st (r : Ast.range) ~first =
+  let at = r.Ast.r_pos in
   match r.Ast.r_src with
   | Ast.Coll coll -> (
     match Catalog.find_collection st.cat coll with
-    | None -> error "unknown collection %s" coll
+    | None -> error_at at "unknown collection %s" coll
     | Some co ->
       (match r.Ast.r_class with
       | Some cls when cls <> co.Catalog.co_class ->
-        error "collection %s contains %s objects, not %s" coll co.Catalog.co_class cls
+        error_at at "collection %s contains %s objects, not %s" coll co.Catalog.co_class cls
       | Some _ | None -> ());
       let get = Logical.get ~coll ~binding:r.Ast.r_var in
       if first then st.tree <- get
       else st.tree <- Logical.join [] st.tree get;
-      bind st r.Ast.r_var co.Catalog.co_class)
+      bind ~at st r.Ast.r_var co.Catalog.co_class)
   | Ast.Set_path p ->
-    if first then error "the first range must be over a collection";
+    if first then error_at at "the first range must be over a collection";
     let last =
       match last_step p with
       | Some l -> l
-      | None -> error "set-valued range %s is not a path" p.Ast.p_root
+      | None -> error_at at "set-valued range %s is not a path" p.Ast.p_root
     in
     let prefix = resolve_prefix st p in
-    let cls = class_of st prefix in
+    let cls = class_of ~at:p.Ast.p_pos st prefix in
     (match Schema.attr_ty (schema st) ~cls last with
     | Some (Schema.Set_of (Schema.Ref target)) ->
       (match r.Ast.r_class with
       | Some ann when ann <> target ->
-        error "%s.%s contains %s objects, not %s" prefix last target ann
+        error_at at "%s.%s contains %s objects, not %s" prefix last target ann
       | Some _ | None -> ());
       let ref_binding = fresh_ref_binding r.Ast.r_var in
       st.tree <- Logical.unnest ~out:ref_binding ~src:prefix ~field:last st.tree;
-      bind st ref_binding target;
+      bind ~at st ref_binding target;
       (* materialize the revealed references, as in the paper's Fig. 3 *)
       st.tree <- Logical.mat_ref ~out:r.Ast.r_var ~src:ref_binding st.tree;
-      bind st r.Ast.r_var target
+      bind ~at st r.Ast.r_var target
     | Some ty ->
-      error "%s.%s has type %a, expected a set of references" prefix last Schema.pp_attr_ty ty
-    | None -> error "class %s has no attribute %s" cls last)
+      error_at at "%s.%s has type %a, expected a set of references" prefix last
+        Schema.pp_attr_ty ty
+    | None -> error_at at "class %s has no attribute %s" cls last)
 
 (* Flatten a condition into predicate atoms, inlining EXISTS subqueries
    by appending their ranges (witness-pair semantics). *)
@@ -153,8 +169,10 @@ and atoms_of_cond st cond =
        | Ast.Cmp (op, l, r) ->
          let lo, lt = operand st l in
          let ro, rt = operand st r in
-         if not (compatible lt rt) then
-           error "incomparable operands in %a" Ast.pp_cond (Ast.Cmp (op, l, r));
+         if not (compatible lt rt) then begin
+           let at = if Loc.is_none (pos_of_expr l) then pos_of_expr r else pos_of_expr l in
+           error_at at "incomparable operands in %a" Ast.pp_cond (Ast.Cmp (op, l, r))
+         end;
          [ Pred.atom (cmp_of op) lo ro ]
        | Ast.And _ -> assert false (* flattened by conjuncts *)
        | Ast.Exists q ->
@@ -204,20 +222,21 @@ let query_ordered cat (q : Ast.query) =
       match q.Ast.q_order with
       | None -> None
       | Some p -> (
+        let at = p.Ast.p_pos in
         match last_step p with
         | None ->
           if not (List.mem p.Ast.p_root (Logical.scope st.tree)) then
-            error "ORDER BY %s: not in the query result" p.Ast.p_root;
+            error_at at "ORDER BY %s: not in the query result" p.Ast.p_root;
           Some (p.Ast.p_root, None)
         | Some last ->
           let binding = resolve_prefix st p in
-          let cls = class_of st binding in
+          let cls = class_of ~at st binding in
           (match Schema.attr_ty (schema st) ~cls last with
-          | None -> error "class %s has no attribute %s" cls last
-          | Some (Schema.Set_of _) -> error "cannot ORDER BY a set-valued component"
+          | None -> error_at at "class %s has no attribute %s" cls last
+          | Some (Schema.Set_of _) -> error_at at "cannot ORDER BY a set-valued component"
           | Some _ -> ());
           if not (List.mem binding (Logical.scope st.tree)) then
-            error "ORDER BY %a: %s is not in the query result" Ast.pp_path p binding;
+            error_at at "ORDER BY %a: %s is not in the query result" Ast.pp_path p binding;
           Some (binding, Some last))
     in
     match Logical.well_formed cat st.tree with

@@ -197,6 +197,59 @@ let prop_optimizer_never_worse_than_greedy =
           Cost.total (Opt.cost (Opt.optimize cat q))
           <= Cost.total greedy.Open_oodb.Model.Engine.cost +. 1e-9))
 
+(* ------------------------------------------------------------------ *)
+(* Typed algebra vs execution: the schema the typechecker infers for a
+   query must describe the rows the engine actually produces — same
+   column names, and every value inhabiting its static column type —
+   across batch sizes (batch 1 degenerates to tuple-at-a-time; batch 64
+   exercises the vectorized path). Reuses the plan-cache fuzz corpus so
+   inference is checked over the same ~200-query population whose
+   fingerprints are already known to be stable. *)
+
+module Typing = Oodb_algebra.Typing
+
+let check_rows_match_schema ~seed ~batch schema rows =
+  let want = List.sort compare (List.map fst schema) in
+  List.iteri
+    (fun i row ->
+      let got = List.sort compare (List.map fst row) in
+      if got <> want then
+        Alcotest.failf
+          "seed %d batch %d row %d: columns %s but inferred schema %s" seed
+          batch i
+          (String.concat "," got)
+          (String.concat "," want);
+      List.iter
+        (fun (col, v) ->
+          let ty = List.assoc col schema in
+          if not (Typing.value_matches ty v) then
+            Alcotest.failf
+              "seed %d batch %d row %d: column %s holds %s, outside its inferred type %s"
+              seed batch i col (Value.to_string v)
+              (Format.asprintf "%a" Typing.pp_col_ty ty))
+        row)
+    rows
+
+let test_typing_matches_execution () =
+  for seed = 1 to Helpers.Fuzz.n_fuzz do
+    let q = Helpers.Fuzz.gen_expr ~seed ~root_name:"x" in
+    let schema =
+      match Typing.output_schema cat q with
+      | Ok s -> s
+      | Error m -> Alcotest.failf "seed %d: inference failed: %s" seed m
+    in
+    List.iter
+      (fun batch ->
+        let options = Options.with_batch_size batch Options.default in
+        let plan = Opt.plan_exn (Opt.optimize ~options cat q) in
+        let rows =
+          Helpers.Executor.run ~verify:true ~config:options.Options.config db
+            plan
+        in
+        check_rows_match_schema ~seed ~batch schema rows)
+      [ 1; 64 ]
+  done
+
 let prop_deterministic =
   QCheck2.Test.make ~name:"optimization is deterministic" ~count:30 gen_query (fun g ->
       match build g with
@@ -219,4 +272,7 @@ let () =
           [ prop_disabled_rules_never_cheaper;
             prop_pruning_sound;
             prop_optimizer_never_worse_than_greedy;
-            prop_deterministic ] ) ]
+            prop_deterministic ] );
+      ( "typed-algebra",
+        [ Alcotest.test_case "inferred schema matches executed rows (batch 1 and 64)"
+            `Quick test_typing_matches_execution ] ) ]

@@ -33,6 +33,14 @@ module Toy = struct
     let pp = Format.pp_print_int
   end
 
+  module Typ = struct
+    type t = unit (* the toy model carries no schema to type *)
+
+    let equal () () = true
+
+    let pp ppf () = Format.pp_print_string ppf "()"
+  end
+
   module Pprop = struct
     type t = bool (* sorted? *)
 

@@ -100,7 +100,25 @@ let test_parse_roundtrip_pp () =
   let q = Zql.Parser.parse_exn text in
   let printed = Format.asprintf "%a" Zql.Ast.pp_query q in
   let q2 = Zql.Parser.parse_exn printed in
-  Alcotest.(check bool) "parse . pp . parse = parse" true (q = q2)
+  (* token locations differ between the two inputs, so compare the
+     printed forms, which elide them *)
+  Alcotest.(check string) "pp . parse . pp = pp" printed (Format.asprintf "%a" Zql.Ast.pp_query q2)
+
+let test_located_errors () =
+  let err s =
+    match Zql.Simplify.compile cat s with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "expected error: %s" s
+  in
+  Alcotest.(check bool) "attribute error names line 2" true
+    (contains (err "SELECT * FROM c IN Cities\nWHERE c.nope == 1") "line 2, column 7");
+  Alcotest.(check bool) "unknown collection located" true
+    (contains (err {| SELECT * FROM x IN Nowhere |}) "line 1, column 16");
+  Alcotest.(check bool) "incomparable operands located" true
+    (contains (err {| SELECT * FROM c IN Cities WHERE c.name == 3 |}) "column 34");
+  match Zql.Parser.parse "SELECT x FROM a IN B extra" with
+  | Error m -> Alcotest.(check bool) "parse error located" true (contains m "column 22")
+  | Ok _ -> Alcotest.fail "expected parse error"
 
 let test_parse_errors () =
   let bad s =
@@ -285,6 +303,7 @@ let () =
           Alcotest.test_case "multi-range join" `Quick test_simplify_multi_range_join;
           Alcotest.test_case "projection naming" `Quick test_simplify_projection_names;
           Alcotest.test_case "error reporting" `Quick test_simplify_errors;
+          Alcotest.test_case "located errors" `Quick test_located_errors;
           Alcotest.test_case "ORDER BY" `Quick test_order_by;
           Alcotest.test_case "ORDER BY executes sorted" `Quick test_order_by_executes_sorted;
           Alcotest.test_case "compile-optimize-execute" `Quick test_compile_optimize_execute ] )
