@@ -10,6 +10,8 @@
      oodb run "<zql>" [--scale 0.1]        optimize + execute on generated data
      oodb run --paper q1 --profile         ... with per-operator profiling
      oodb run --paper q1 --trace-out t.json   ... writing a Perfetto-loadable trace
+     oodb run --paper q1 --feedback        ... closing the cardinality-feedback loop
+     oodb feedback [--json|--clear]        inspect or clear the feedback store
      oodb explain --paper q3 --analyze     plan annotated with measured actuals
      oodb optimize --paper q1 --trace      ... with search tracing
      oodb stats [-o FILE]                  full machine-readable workload report
@@ -35,6 +37,9 @@ module Span = Oodb_obs.Span
 module Metrics = Oodb_obs.Metrics
 module History = Oodb_obs.History
 module Plancache = Oodb_plancache.Plancache
+module Fingerprint = Oodb_plancache.Fingerprint
+module Feedback = Oodb_obs.Feedback
+module Datagen = Oodb_workloads.Datagen
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -292,11 +297,11 @@ let write_file path text =
   close_out oc
 
 let run_run paper text disabled window no_pruning batch_size scale limit profile trace_out
-    =
+    skewed feedback =
   (* one collector for the whole pipeline: compile, cache lookup, search
      phases and per-operator execution all land in the same trace *)
   let spans = Option.map (fun _ -> Span.create ()) trace_out in
-  let db = Oodb_workloads.Datagen.generate ~scale () in
+  let db = if skewed then Datagen.generate_skewed ~scale () else Datagen.generate ~scale () in
   let cat = Db.catalog db in
   match
     Span.with_span spans ~cat:"zql" "parse-simplify" (fun () ->
@@ -307,27 +312,68 @@ let run_run paper text disabled window no_pruning batch_size scale limit profile
     1
   | Ok (q, required) ->
     let options = options_of ?batch_size disabled window no_pruning in
+    let fb =
+      if not feedback then None
+      else
+        Some
+          (match Feedback.of_env cat with
+          | Some f -> f
+          | None -> Feedback.create cat)
+    in
+    let options = match fb with Some f -> Feedback.install f options | None -> options in
+    let qerror_limit =
+      if feedback then Some options.Options.feedback_qerror_limit else None
+    in
     let pc = Plancache.of_env () in
-    let o = Plancache.optimize ~options ~required ?spans pc cat q in
+    let o = Plancache.optimize ~options ~required ?qerror_limit ?spans pc cat q in
+    (if feedback then
+       let s = Plancache.stats pc in
+       if s.Plancache.qerror_evictions > 0 then
+         Format.printf
+           "plan cache: %d cached plan(s) evicted by the q-error gate (limit %.1f); \
+            replanned with feedback@."
+           s.Plancache.qerror_evictions options.Options.feedback_qerror_limit);
     (match o.Plancache.plan with
     | None ->
       Format.eprintf "error: no plan found@.";
       1
     | Some plan ->
       let rows, report =
-        if profile || Option.is_some trace_out then begin
+        if profile || feedback || Option.is_some trace_out then begin
           (* the profiler's interposed iterators are what emit the
-             per-operator spans, so --trace-out implies profiling *)
+             per-operator spans, so --trace-out implies profiling; the
+             feedback loop needs per-node actuals, so --feedback does too *)
           let rows, report, prof =
             Span.with_span spans ~cat:"pipeline" "execute" (fun () ->
                 Profile.run ~config:options.Options.config ?spans db plan)
           in
-          if profile then
+          if profile || feedback then
             Format.printf "plan (est vs actual):@.%a@.estimated: %a@.@." Profile.pp
               prof Cost.pp plan.Engine.cost
           else
             Format.printf "plan:@.%a@.estimated: %a@.@." Engine.pp_plan plan Cost.pp
               plan.Engine.cost;
+          (match fb with
+          | None -> ()
+          | Some f ->
+            let n = Feedback.harvest f options.Options.config cat prof in
+            Feedback.save f;
+            let max_q, mean_q = Feedback.plan_quality prof in
+            let fp = Fingerprint.make ~catalog:cat ~options ~required q in
+            Plancache.note_execution pc fp ~epoch:(Catalog.epoch cat) ~max_qerror:max_q
+              ~mean_qerror:mean_q;
+            Format.printf
+              "feedback: %d observation(s) harvested, store has %d key(s)%s@.plan \
+               quality: max q-error %.2f, mean %.2f%s@.@."
+              n (Feedback.size f)
+              (match Feedback.file f with
+              | Some p -> Printf.sprintf " (%s)" p
+              | None -> " (in-memory; set OODB_FEEDBACK_DIR to persist)")
+              max_q mean_q
+              (if max_q > options.Options.feedback_qerror_limit then
+                 Printf.sprintf " — over the %.1f gate, next lookup replans"
+                   options.Options.feedback_qerror_limit
+               else ""));
           (rows, report)
         end
         else begin
@@ -373,12 +419,113 @@ let trace_out_arg =
               lookup, search phases, per-operator execution) to $(docv); load it in \
               ui.perfetto.dev or chrome://tracing.")
 
+let skewed_arg =
+  Arg.(
+    value & flag
+    & info [ "skewed" ]
+        ~doc:"Generate the feedback-demo database: same data, but employee-name \
+              statistics corrupted to 2 distinct values (the data really has ~100), so \
+              the cold optimizer misprices $(b,name = ...) predicates until a profiled \
+              run under $(b,--feedback) observes the truth.")
+
+let feedback_arg =
+  Arg.(
+    value & flag
+    & info [ "feedback" ]
+        ~doc:"Close the cardinality-feedback loop: install stored observations (from \
+              $(b,OODB_FEEDBACK_DIR) when set) into the optimizer, gate cached plans by \
+              their recorded q-error, profile the execution, harvest per-node observed \
+              statistics back into the store, and record this plan's quality in the plan \
+              cache.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize a query and execute it on a generated database.")
     Term.(
       const run_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ batch_size_arg $ scale_arg $ limit_arg $ profile_arg $ trace_out_arg)
+      $ batch_size_arg $ scale_arg $ limit_arg $ profile_arg $ trace_out_arg $ skewed_arg
+      $ feedback_arg)
+
+(* ------------------------------------------------------------------ *)
+(* feedback: inspect or clear the persistent cardinality-feedback store  *)
+
+let feedback_run json clear scale skewed =
+  let dir =
+    match Sys.getenv_opt Feedback.env_var with Some d when d <> "" -> Some d | _ -> None
+  in
+  if clear then (
+    match dir with
+    | None ->
+      Format.eprintf "error: %s is not set; nothing to clear@." Feedback.env_var;
+      1
+    | Some d ->
+      let n = Feedback.clear_dir d in
+      Format.printf "cleared %d feedback store(s) under %s@." n d;
+      0)
+  else
+    match dir with
+    | None ->
+      Format.eprintf
+        "error: %s is not set; the feedback store lives in that directory (one JSON file \
+         per catalog scope)@."
+        Feedback.env_var;
+      1
+    | Some _ -> (
+      (* the store is scoped to a catalog state, so rebuild the catalog
+         the observations were harvested under *)
+      let db = if skewed then Datagen.generate_skewed ~scale () else Datagen.generate ~scale () in
+      let cat = Db.catalog db in
+      match Feedback.of_env cat with
+      | None -> assert false
+      | Some fb ->
+        if json then begin
+          print_endline (Json.to_string (Feedback.to_json fb));
+          0
+        end
+        else begin
+          (match Feedback.file fb with
+          | Some p ->
+            Format.printf "store: %s (catalog epoch %d)%s@." p (Catalog.epoch cat)
+              (if Sys.file_exists p then "" else " — not yet written")
+          | None -> ());
+          let rows = Feedback.contents fb in
+          if rows = [] then
+            Format.printf
+              "no observations for this catalog scope; run a query with 'oodb run \
+               --feedback' first@."
+          else begin
+            Format.printf "%-6s  %-48s %12s %6s %9s@." "kind" "key" "value" "count"
+              "q-error";
+            List.iter
+              (fun (kind, key, o) ->
+                Format.printf "%-6s  %-48s %12.6g %6d %9.2f@." kind key
+                  o.Feedback.o_value o.Feedback.o_count o.Feedback.o_qerror)
+              rows
+          end;
+          0
+        end)
+
+let feedback_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the store as machine-readable JSON.")
+
+let feedback_clear_arg =
+  Arg.(
+    value & flag
+    & info [ "clear" ]
+        ~doc:"Remove every feedback store file under $(b,OODB_FEEDBACK_DIR) (all catalog \
+              scopes).")
+
+let feedback_cmd =
+  Cmd.v
+    (Cmd.info "feedback"
+       ~doc:
+         "Inspect the persistent cardinality-feedback store for the current catalog \
+          scope: observed selectivities, collection cardinalities and unnest fanouts \
+          with their merge counts and worst q-errors. With $(b,--clear), remove all \
+          stores under $(b,OODB_FEEDBACK_DIR).")
+    Term.(
+      const feedback_run $ feedback_json_arg $ feedback_clear_arg $ scale_arg
+      $ skewed_arg)
 
 let explain_run paper text disabled window no_pruning batch_size scale analyze =
   let db = Oodb_workloads.Datagen.generate ~scale () in
@@ -559,18 +706,46 @@ let stats_run scale out disabled window no_pruning =
   (* cold-then-warm sweep through the plan cache: the second pass should
      be all hits, and its time collapse is part of the report *)
   let pc = Plancache.of_env () in
+  let cat = Db.catalog db in
   let qs = List.map snd Oodb_workloads.Queries.all in
   let sum_opt os =
     List.fold_left (fun acc (o : Plancache.outcome) -> acc +. o.Plancache.opt_seconds) 0. os
   in
-  let cold = Plancache.optimize_all ~options ~registry pc (Db.catalog db) qs in
-  let warm = Plancache.optimize_all ~options ~registry pc (Db.catalog db) qs in
+  let cold = Plancache.optimize_all ~options ~registry pc cat qs in
+  let warm = Plancache.optimize_all ~options ~registry pc cat qs in
+  (* plan-quality pass: profile each cached plan once, fold its measured
+     q-errors into the cache entry (what the feedback gate judges) and
+     harvest the observations into an in-memory store so the report
+     carries est-vs-actual provenance *)
+  let fb = Feedback.create cat in
+  let quality =
+    List.map2
+      (fun (name, q) (o : Plancache.outcome) ->
+        match o.Plancache.plan with
+        | None -> (name, Json.Null)
+        | Some plan ->
+          let _rows, _report, prof = Profile.run ~config:options.Options.config db plan in
+          let max_q, mean_q = Feedback.plan_quality prof in
+          ignore (Feedback.harvest ~registry fb options.Options.config cat prof);
+          let fp =
+            Fingerprint.make ~catalog:cat ~options ~required:Open_oodb.Physprop.empty q
+          in
+          Plancache.note_execution pc fp ~epoch:(Catalog.epoch cat) ~max_qerror:max_q
+            ~mean_qerror:mean_q;
+          ( name,
+            Plancache.quality_json
+              { Plancache.q_execs = 1; q_max_qerror = max_q; q_mean_qerror = mean_q;
+                q_last_epoch = Catalog.epoch cat } ))
+      Oodb_workloads.Queries.all cold
+  in
   let extra =
     [ ( "plan_cache",
         Json.Obj
           [ ("stats", Plancache.stats_json (Plancache.stats pc));
             ("cold_opt_seconds", Json.float (sum_opt cold));
-            ("warm_opt_seconds", Json.float (sum_opt warm)) ] ) ]
+            ("warm_opt_seconds", Json.float (sum_opt warm));
+            ("plan_quality", Json.Obj quality) ] );
+      ("feedback", Feedback.to_json fb) ]
   in
   let json = Report.workload_json ~registry ~extra reports in
   let text = Json.to_string json in
@@ -755,5 +930,5 @@ let () =
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ catalog_cmd; rules_cmd; optimize_cmd; optimize_all_cmd; memo_cmd; run_cmd;
-            explain_cmd; bench_compare_cmd; greedy_cmd; analyze_cmd; stats_cmd;
-            lint_cmd; certify_cmd ]))
+            feedback_cmd; explain_cmd; bench_compare_cmd; greedy_cmd; analyze_cmd;
+            stats_cmd; lint_cmd; certify_cmd ]))

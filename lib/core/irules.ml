@@ -5,6 +5,7 @@ module Config = Oodb_cost.Config
 module Cost = Oodb_cost.Cost
 module Lprops = Oodb_cost.Lprops
 module Estimator = Oodb_cost.Estimator
+module Selectivity = Oodb_cost.Selectivity
 module Bset = Physprop.Bset
 open Model
 
@@ -145,9 +146,19 @@ let collapse_index_scan cfg cat =
                       let residual = List.filter (fun a' -> a' <> a) p in
                       if not (residual_on_root root residual) then []
                       else
+                        (* An observed selectivity for the consumed key
+                           atom overrides the index distinct statistic,
+                           keeping the scan's match estimate consistent
+                           with how Select prices the same atom. *)
                         let matches =
-                          float_of_int co.Catalog.co_card
-                          /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct)
+                          match
+                            Selectivity.feedback_sel cfg
+                              ~env:(Engine.group_lprop ctx g) a
+                          with
+                          | Some s -> float_of_int co.Catalog.co_card *. s
+                          | None ->
+                            float_of_int co.Catalog.co_card
+                            /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct)
                         in
                         [ { Engine.cand_alg =
                               Physical.Index_scan

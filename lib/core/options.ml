@@ -5,6 +5,7 @@ type t = {
   normalize : bool;
   verify : bool;
   cache : bool;
+  feedback_qerror_limit : float;
 }
 
 let default =
@@ -13,7 +14,8 @@ let default =
     pruning = true;
     normalize = true;
     verify = true;
-    cache = true }
+    cache = true;
+    feedback_qerror_limit = 16.0 }
 
 let without_cache t = { t with cache = false }
 
@@ -38,3 +40,9 @@ let with_batch_size n t =
   { t with config = { t.config with Oodb_cost.Config.batch_size = n } }
 
 let with_config config t = { t with config }
+
+let with_feedback fb t =
+  { t with config = { t.config with Oodb_cost.Config.feedback = Some fb } }
+
+let without_feedback t =
+  { t with config = { t.config with Oodb_cost.Config.feedback = None } }

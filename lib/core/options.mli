@@ -21,6 +21,11 @@ type t = {
           and store fingerprinted plans (default on); when off they
           bypass lookup and insertion and always optimize cold. Ignored
           by the raw {!Optimizer.optimize}, which is always cold. *)
+  feedback_qerror_limit : float;
+      (** maximum recorded q-error a cached plan may carry before a
+          feedback-gated cache lookup evicts it and forces a re-plan
+          with corrected statistics (default 16.0). Like [cache] and
+          [verify] this is meta — it never splits cache fingerprints *)
 }
 
 val default : t
@@ -50,6 +55,13 @@ val with_batch_size : int -> t -> t
     @raise Invalid_argument when below 1. *)
 
 val with_config : Oodb_cost.Config.t -> t -> t
+
+val with_feedback : Oodb_cost.Config.feedback -> t -> t
+(** Install runtime-feedback overrides into the cost configuration: the
+    estimator (and every rule that prices candidates) consults observed
+    statistics before the synthetic model. *)
+
+val without_feedback : t -> t
 
 val without_cache : t -> t
 (** Turn {!field-cache} off: cache-aware entry points always optimize cold. *)

@@ -1,3 +1,19 @@
+(* Runtime cardinality feedback: observed statistics the estimator
+   consults before the synthetic model. Keys are canonical and
+   class-based (see Fbkey), so the override does not depend on which
+   memo form a predicate appears in — the memo consistency checker
+   re-derives with the same config and must agree. Kept as plain
+   hashtables (no closures) so a config carrying feedback stays
+   marshalable and structurally comparable. [fb_hits] counts applied
+   overrides; samplers take deltas around a derivation to tag nodes
+   with their estimate's source. *)
+type feedback = {
+  fb_sel : (string, float) Hashtbl.t;  (** atom key -> observed selectivity *)
+  fb_card : (string, float) Hashtbl.t;  (** collection -> observed cardinality *)
+  fb_fanout : (string, float) Hashtbl.t;  (** class.field -> observed set fanout *)
+  mutable fb_hits : int;
+}
+
 type t = {
   page_bytes : int;
   seq_io : float;
@@ -13,7 +29,35 @@ type t = {
   buffer_pages : int;
   default_selectivity : float;
   range_selectivity : float;
+  feedback : feedback option;
 }
+
+let feedback_create () =
+  { fb_sel = Hashtbl.create 16;
+    fb_card = Hashtbl.create 16;
+    fb_fanout = Hashtbl.create 16;
+    fb_hits = 0 }
+
+let feedback_size fb =
+  Hashtbl.length fb.fb_sel + Hashtbl.length fb.fb_card + Hashtbl.length fb.fb_fanout
+
+let fb_find table t key =
+  match t.feedback with
+  | None -> None
+  | Some fb -> (
+    match Hashtbl.find_opt (table fb) key with
+    | Some v ->
+      fb.fb_hits <- fb.fb_hits + 1;
+      Some v
+    | None -> None)
+
+let fb_sel_find t key = fb_find (fun fb -> fb.fb_sel) t key
+
+let fb_card_find t key = fb_find (fun fb -> fb.fb_card) t key
+
+let fb_fanout_find t key = fb_find (fun fb -> fb.fb_fanout) t key
+
+let fb_hits t = match t.feedback with None -> 0 | Some fb -> fb.fb_hits
 
 (* The execution engine's default batch size, shared with the cost
    model so anticipated CPU tracks the engine actually run. *)
@@ -44,7 +88,8 @@ let default =
     memory_bytes = 4 * 1024 * 1024;
     buffer_pages = 1024;
     default_selectivity = 0.10;
-    range_selectivity = 0.33 }
+    range_selectivity = 0.33;
+    feedback = None }
 
 (* [cpu_tuple] is calibrated for the tuple-at-a-time protocol: each
    tuple pays the operator's work plus one closure call per operator

@@ -6,6 +6,25 @@
     lands. Everything is a plain record so experiments and property tests
     can sweep values. *)
 
+type feedback = {
+  fb_sel : (string, float) Hashtbl.t;
+      (** canonical atom key ({!Fbkey.atom}) to observed selectivity *)
+  fb_card : (string, float) Hashtbl.t;
+      (** collection name to observed cardinality *)
+  fb_fanout : (string, float) Hashtbl.t;
+      (** [class.field] ({!Fbkey.fanout}) to observed set-valued fanout *)
+  mutable fb_hits : int;
+      (** applied overrides, cumulative; sample deltas around one
+          derivation to attribute an estimate to feedback vs the model *)
+}
+(** Runtime cardinality feedback: observed statistics consulted by
+    {!Selectivity} and {!Estimator} {e before} the synthetic model. Keys
+    are canonical and class-based so overrides are independent of the
+    memo form a predicate appears in (the memo consistency checker
+    re-derives with the same config and must agree). Plain hashtables,
+    no closures: a config carrying feedback stays marshalable. Built
+    from harvested executions by [Oodb_obs.Feedback]. *)
+
 type t = {
   page_bytes : int;  (** disk page size *)
   seq_io : float;  (** seconds per sequentially read page *)
@@ -30,6 +49,11 @@ type t = {
   buffer_pages : int;  (** buffer-pool capacity used by the executor *)
   default_selectivity : float;  (** the paper's 10% fallback *)
   range_selectivity : float;  (** fallback for inequality predicates *)
+  feedback : feedback option;
+      (** observed-statistics overrides (default [None]: pure model).
+          Deliberately excluded from plan-cache fingerprints — feedback
+          corrects a plan {e under the same query identity}, so the
+          re-planned winner overwrites the stale cache entry *)
 }
 
 val default : t
@@ -54,3 +78,20 @@ val assembly_io : t -> window:int -> float
 
 val pages : t -> bytes:float -> float
 (** Number of pages occupied by [bytes] of densely packed data. *)
+
+val feedback_create : unit -> feedback
+(** Fresh, empty feedback tables. *)
+
+val feedback_size : feedback -> int
+(** Total overrides across all three tables. *)
+
+val fb_sel_find : t -> string -> float option
+(** Observed selectivity for a canonical atom key; increments [fb_hits]
+    when an override is found (same for the other finders). *)
+
+val fb_card_find : t -> string -> float option
+
+val fb_fanout_find : t -> string -> float option
+
+val fb_hits : t -> int
+(** Current override counter ([0] without feedback). *)

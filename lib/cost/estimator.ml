@@ -35,7 +35,12 @@ let derive cfg cat (op : Logical.op) inputs : Lprops.t =
     match Catalog.find_collection cat coll with
     | None -> fail "Estimator.derive: unknown collection %s" coll
     | Some co ->
-      { Lprops.card = float_of_int co.Catalog.co_card;
+      let card =
+        match Config.fb_card_find cfg coll with
+        | Some c -> c
+        | None -> float_of_int co.Catalog.co_card
+      in
+      { Lprops.card;
         bindings =
           [ ( binding,
               { Lprops.b_class = co.Catalog.co_class;
@@ -80,7 +85,11 @@ let derive cfg cat (op : Logical.op) inputs : Lprops.t =
   | Logical.Unnest { src; field; out } ->
     let input = one_input inputs in
     let cls, target = target_class cat input src field in
-    let fanout = Catalog.avg_set_size cat ~cls ~field in
+    let fanout =
+      match Config.fb_fanout_find cfg (Fbkey.fanout ~cls ~field) with
+      | Some f -> f
+      | None -> Catalog.avg_set_size cat ~cls ~field
+    in
     { Lprops.card = input.Lprops.card *. fanout;
       bindings =
         input.Lprops.bindings

@@ -36,6 +36,19 @@ let distinct_of _cfg cat ~env binding field =
     | None -> class_based ())
   | None -> class_based ()
 
+(* Observed selectivity from runtime feedback, keyed per ATOM — never
+   per conjunction. A conjunction split across a Select and a Join must
+   estimate exactly like the merged form (product of the same atom
+   factors), so whole-predicate overrides would break the memo
+   consistency checker; per-atom overrides compose by construction. *)
+let feedback_sel (cfg : Config.t) ~env (a : Pred.atom) =
+  match cfg.Config.feedback with
+  | None -> None
+  | Some _ -> (
+    match Fbkey.atom ~env a with
+    | None -> None
+    | Some key -> Option.map clamp (Config.fb_sel_find cfg key))
+
 let atom (cfg : Config.t) cat ~env (a : Pred.atom) =
   let eq_field_sel binding field =
     match distinct_of cfg cat ~env binding field with
@@ -69,6 +82,9 @@ let atom (cfg : Config.t) cat ~env (a : Pred.atom) =
   in
   match const_eval with
   | Some s -> clamp s
+  | None ->
+  match feedback_sel cfg ~env a with
+  | Some s -> s
   | None ->
   let sel =
     match a.Pred.cmp with

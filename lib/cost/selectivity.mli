@@ -15,8 +15,18 @@
     scannable collection, reflecting that each source object references
     exactly one target. *)
 
+val feedback_sel :
+  Config.t -> env:Lprops.t -> Oodb_algebra.Pred.atom -> float option
+(** Observed selectivity from {!Config.feedback} for the atom's
+    canonical {!Fbkey} key (clamped; counts a feedback hit). [None]
+    when no feedback is installed or nothing was observed. Overrides
+    are per-atom only: whole-conjunction overrides would break the
+    compositionality the memo consistency checker enforces. *)
+
 val atom :
   Config.t -> Oodb_catalog.Catalog.t -> env:Lprops.t -> Oodb_algebra.Pred.atom -> float
+(** Constant-folds const-const atoms, then consults {!feedback_sel},
+    then falls back to the model tiers below. *)
 
 val pred :
   Config.t -> Oodb_catalog.Catalog.t -> env:Lprops.t -> Oodb_algebra.Pred.t -> float

@@ -8,9 +8,41 @@ module Estimator = Oodb_cost.Estimator
 module Selectivity = Oodb_cost.Selectivity
 module Lprops = Oodb_cost.Lprops
 
-type t = { card : float; children : t list }
+type t = { card : float; fed : bool; children : t list }
 
 let empty_lprops : Lprops.t = { Lprops.card = 0.; bindings = [] }
+
+(* Reconstruct the key-equality atom that collapse-index-scan consumed:
+   the binding whose root-relative path is the index path minus its last
+   field, equated with the scan key. Feedback observed for that atom then
+   prices the scan exactly as the rule priced it. *)
+let index_key_atom root derefs (ix : Catalog.index_def) key =
+  match List.rev ix.Catalog.ix_path with
+  | [] -> None
+  | last :: rev_base ->
+    let base = List.rev rev_base in
+    let paths = Hashtbl.create 8 in
+    Hashtbl.add paths root [];
+    let rec fixpoint remaining =
+      let ready, rest =
+        List.partition (fun (src, _, _) -> Hashtbl.mem paths src) remaining
+      in
+      if ready = [] then ()
+      else begin
+        List.iter
+          (fun (src, field, out) ->
+            let p = Hashtbl.find paths src in
+            Hashtbl.add paths out
+              (match field with Some f -> p @ [ f ] | None -> p))
+          ready;
+        fixpoint rest
+      end
+    in
+    fixpoint derefs;
+    Hashtbl.fold
+      (fun b p acc -> match acc with Some _ -> acc | None -> if p = base then Some b else None)
+      paths None
+    |> Option.map (fun b -> Pred.atom Pred.Eq (Pred.Field (b, last)) (Pred.Const key))
 
 (* Logical properties of each physical node, by re-deriving through the
    logical operator(s) the algorithm implements. *)
@@ -21,7 +53,7 @@ let node_lprops cfg cat (alg : Physical.t) (inputs : Lprops.t list) : Lprops.t =
     match alg with
     | Physical.File_scan { coll; binding } ->
       derive (Logical.Get { coll; binding }) []
-    | Physical.Index_scan { coll; binding; index; key = _; residual; derefs } ->
+    | Physical.Index_scan { coll; binding; index; key; residual; derefs } ->
       let lp0 = derive (Logical.Get { coll; binding }) [] in
       (* Re-apply the Mat spine the collapse consumed so the residual's
          bindings are in scope. *)
@@ -37,8 +69,16 @@ let node_lprops cfg cat (alg : Physical.t) (inputs : Lprops.t list) : Lprops.t =
             (fun ix -> String.equal ix.Catalog.ix_name index)
             (Catalog.indexes_on cat ~coll)
         with
-        | Some ix ->
-          lp0.Lprops.card /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct)
+        | Some ix -> (
+          let fb =
+            match index_key_atom binding derefs ix key with
+            | Some a -> Selectivity.feedback_sel cfg ~env:lp a
+            | None -> None
+          in
+          match fb with
+          | Some s -> lp0.Lprops.card *. s
+          | None ->
+            lp0.Lprops.card /. Float.max 1.0 (float_of_int ix.Catalog.ix_distinct))
         | None -> lp0.Lprops.card
       in
       let sel = Selectivity.pred cfg cat ~env:lp residual in
@@ -72,7 +112,9 @@ let node_lprops cfg cat (alg : Physical.t) (inputs : Lprops.t list) : Lprops.t =
 let plan ?(config = Config.default) cat p =
   let rec build (p : Engine.plan) : Lprops.t * t =
     let pairs = List.map build p.Engine.children in
+    let before = Config.fb_hits config in
     let lp = node_lprops config cat p.Engine.alg (List.map fst pairs) in
-    (lp, { card = lp.Lprops.card; children = List.map snd pairs })
+    let fed = Config.fb_hits config > before in
+    (lp, { card = lp.Lprops.card; fed; children = List.map snd pairs })
   in
   snd (build p)

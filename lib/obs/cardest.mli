@@ -12,8 +12,24 @@
 
 module Engine = Open_oodb.Model.Engine
 
-type t = { card : float; children : t list }
-(** Mirrors the plan's shape: [children] line up with [Engine.plan.children]. *)
+type t = { card : float; fed : bool; children : t list }
+(** Mirrors the plan's shape: [children] line up with
+    [Engine.plan.children]. [fed] is true when the node's estimate drew
+    on at least one runtime-feedback override (an observed selectivity,
+    collection cardinality or unnest fanout in
+    [config.feedback]) rather than the synthetic model alone. *)
+
+val node_lprops :
+  Oodb_cost.Config.t ->
+  Oodb_catalog.Catalog.t ->
+  Open_oodb.Physical.t ->
+  Oodb_cost.Lprops.t list ->
+  Oodb_cost.Lprops.t
+(** Logical properties of one physical node given its inputs' properties
+    — the per-node step {!plan} folds over. Exposed so the feedback
+    harvester can rebuild each node's binding environment. Falls back to
+    the first input (or an empty environment at a leaf) when the
+    reconstruction fails. *)
 
 val plan : ?config:Oodb_cost.Config.t -> Oodb_catalog.Catalog.t -> Engine.plan -> t
 (** Estimates never raise: a node whose reconstruction fails (e.g. a

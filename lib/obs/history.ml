@@ -1,6 +1,6 @@
 module Json = Oodb_util.Json
 
-let schema_version = 1
+let schema_version = 2
 
 type query_rec = {
   q_name : string;
@@ -11,6 +11,7 @@ type query_rec = {
   q_rows : int;
   q_groups : int;
   q_rules_fired : int;
+  q_mean_qerror : float;  (* nan when not recorded (schema v1 baselines) *)
 }
 
 type record = {
@@ -33,7 +34,9 @@ let query_json q =
       ("exec_median_seconds", Json.float q.q_exec_median);
       ("rows", Json.Int q.q_rows);
       ("memo_groups", Json.Int q.q_groups);
-      ("rules_fired", Json.Int q.q_rules_fired) ]
+      ("rules_fired", Json.Int q.q_rules_fired);
+      (* Json.float encodes the nan of an unprofiled run as null *)
+      ("mean_qerror", Json.float q.q_mean_qerror) ]
 
 let to_json r =
   Json.Obj
@@ -65,8 +68,14 @@ let query_of_json j =
   let* q_rows = field "rows" Json.to_int j in
   let* q_groups = field "memo_groups" Json.to_int j in
   let* q_rules_fired = field "rules_fired" Json.to_int j in
+  (* Absent (v1 record) or null (unprofiled run) both read as nan. *)
+  let q_mean_qerror =
+    match Json.member "mean_qerror" j with
+    | Some v -> Option.value (Json.to_float v) ~default:Float.nan
+    | None -> Float.nan
+  in
   Ok { q_name; q_opt_min; q_opt_median; q_exec_min; q_exec_median; q_rows;
-       q_groups; q_rules_fired }
+       q_groups; q_rules_fired; q_mean_qerror }
 
 let rec all_ok = function
   | [] -> Ok []
@@ -77,8 +86,10 @@ let rec all_ok = function
 
 let of_json j =
   let* version = field "schema_version" Json.to_int j in
-  if version <> schema_version then
-    Error (Printf.sprintf "schema_version %d, expected %d" version schema_version)
+  (* v1 records (no mean_qerror) still load, so an existing history file
+     keeps serving as a baseline across the schema bump. *)
+  if version < 1 || version > schema_version then
+    Error (Printf.sprintf "schema_version %d, expected 1..%d" version schema_version)
   else
     let* r_git_sha = field "git_sha" to_string_opt j in
     let* r_date = field "date" to_string_opt j in
@@ -149,18 +160,24 @@ let default_threshold = 0.5
 
 let default_min_seconds = 1e-3
 
+(* Absolute noise floor for the mean-q-error delta, in q units: a plan
+   whose mean q-error drifts by less than half a q is not a planning
+   regression worth failing on. *)
+let qerror_floor = 0.5
+
 let compare_records ?(threshold = default_threshold)
     ?(min_seconds = default_min_seconds) ~old_rec ~new_rec () =
-  let delta q metric old_v new_v =
+  let delta_with ~floor q metric old_v new_v =
     let ratio = if old_v > 0. then new_v /. old_v else Float.infinity in
     (* Noise gate: both a relative blow-up and an absolute floor — a
        0.1 ms wobble on a sub-millisecond query is not a regression. *)
     let regressed =
-      new_v > old_v *. (1. +. threshold) && new_v -. old_v > min_seconds
+      new_v > old_v *. (1. +. threshold) && new_v -. old_v > floor
     in
     { d_query = q; d_metric = metric; d_old = old_v; d_new = new_v;
       d_ratio = ratio; d_regressed = regressed }
   in
+  let delta = delta_with ~floor:min_seconds in
   let deltas =
     List.concat_map
       (fun (nq : query_rec) ->
@@ -173,7 +190,16 @@ let compare_records ?(threshold = default_threshold)
           (* Compare the min-of-trials: the most noise-robust statistic
              of the ones recorded. *)
           [ delta nq.q_name "opt_min_seconds" oq.q_opt_min nq.q_opt_min;
-            delta nq.q_name "exec_min_seconds" oq.q_exec_min nq.q_exec_min ])
+            delta nq.q_name "exec_min_seconds" oq.q_exec_min nq.q_exec_min ]
+          @
+          (* Only when both sides recorded it: a v1 baseline or an
+             unprofiled run carries nan, which must not fabricate a
+             delta. *)
+          (if Float.is_nan oq.q_mean_qerror || Float.is_nan nq.q_mean_qerror
+           then []
+           else
+             [ delta_with ~floor:qerror_floor nq.q_name "mean_qerror"
+                 oq.q_mean_qerror nq.q_mean_qerror ]))
       new_rec.r_queries
   in
   let names r = List.map (fun q -> q.q_name) r.r_queries in
@@ -198,8 +224,9 @@ let pp_comparison ppf c =
     c.c_old_sha c.c_new_sha (100. *. c.c_threshold) c.c_min_seconds;
   List.iter
     (fun d ->
-      Format.fprintf ppf "  %-24s %-18s %10.6fs -> %10.6fs  %5.2fx%s@." d.d_query
-        d.d_metric d.d_old d.d_new d.d_ratio
+      let unit = if Filename.check_suffix d.d_metric "_seconds" then "s" else "" in
+      Format.fprintf ppf "  %-24s %-18s %10.6f%s -> %10.6f%s  %5.2fx%s@." d.d_query
+        d.d_metric d.d_old unit d.d_new unit d.d_ratio
         (if d.d_regressed then "  REGRESSION" else ""))
     c.c_deltas;
   List.iter (fun n -> Format.fprintf ppf "  %s: missing from new record@." n)

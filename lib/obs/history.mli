@@ -16,7 +16,9 @@
 module Json = Oodb_util.Json
 
 val schema_version : int
-(** Currently 1. {!of_json} rejects records from other versions. *)
+(** Currently 2 (v2 added [mean_qerror]). {!of_json} accepts any version
+    from 1 up to the current one — older records simply read the fields
+    they predate as absent — and rejects records from the future. *)
 
 type query_rec = {
   q_name : string;
@@ -27,6 +29,10 @@ type query_rec = {
   q_rows : int;  (** result rows — a safety check that runs are comparable *)
   q_groups : int;  (** memo groups of the (cold) search *)
   q_rules_fired : int;
+  q_mean_qerror : float;
+      (** mean per-node q-error of a profiled execution; [nan] when not
+          recorded (v1 baselines, unprofiled runs) — encoded as [null],
+          and excluded from comparison when either side lacks it *)
 }
 
 type record = {
@@ -58,7 +64,8 @@ val load : string -> (record list, string) result
 
 type delta = {
   d_query : string;
-  d_metric : string;  (** ["opt_min_seconds"] or ["exec_min_seconds"] *)
+  d_metric : string;
+      (** ["opt_min_seconds"], ["exec_min_seconds"] or ["mean_qerror"] *)
   d_old : float;
   d_new : float;
   d_ratio : float;  (** new / old; [infinity] when old is 0 *)
@@ -81,6 +88,9 @@ val default_threshold : float
 val default_min_seconds : float
 (** 1e-3 — and only if the absolute slowdown exceeds a millisecond. *)
 
+val qerror_floor : float
+(** 0.5 — absolute floor, in q units, for the [mean_qerror] delta. *)
+
 val compare_records :
   ?threshold:float ->
   ?min_seconds:float ->
@@ -90,7 +100,9 @@ val compare_records :
   comparison
 (** Match queries by name and diff the min-of-trials wall times. A delta
     regresses iff [new > old * (1 + threshold)] and
-    [new - old > min_seconds]. *)
+    [new - old > min_seconds]. When both records carry a [mean_qerror],
+    it is diffed too, with {!qerror_floor} as the absolute floor in
+    place of [min_seconds]. *)
 
 val regressed : comparison -> bool
 

@@ -42,9 +42,11 @@ type hsnap = {
 (* Percentile from the buckets: the bucket containing the rank'th sample
    gives an upper bound, clamped into the exactly-tracked [min, max] — so
    a single sample (or all samples equal, or the rank landing in the
-   overflow bucket) yields the exact observed value. *)
+   overflow bucket) yields the exact observed value. An empty histogram
+   has no percentiles: [None], not a NaN sentinel every caller would
+   have to remember to guard against. *)
 let percentile (h : hsnap) q =
-  if h.count = 0 then Float.nan
+  if h.count = 0 then None
   else begin
     let q = Float.min 1.0 (Float.max 0.0 q) in
     let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
@@ -53,7 +55,7 @@ let percentile (h : hsnap) q =
       incr k;
       cum := !cum + h.counts.(!k)
     done;
-    Float.max h.min (Float.min h.max bucket_bounds.(!k))
+    Some (Float.max h.min (Float.min h.max bucket_bounds.(!k)))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -204,6 +206,9 @@ let scoped t f =
   let after = snapshot t in
   (v, diff ~before ~after)
 
+let pct_json h q =
+  match percentile h q with None -> Json.Null | Some v -> Json.float v
+
 let histo_json (h : hsnap) =
   (* only occupied buckets; the overflow bucket's bound encodes as null
      (non-finite float) *)
@@ -218,9 +223,9 @@ let histo_json (h : hsnap) =
       ("sum", Json.float h.sum);
       ("min", Json.float h.min);
       ("max", Json.float h.max);
-      ("p50", Json.float (percentile h 0.50));
-      ("p95", Json.float (percentile h 0.95));
-      ("p99", Json.float (percentile h 0.99));
+      ("p50", pct_json h 0.50);
+      ("p95", pct_json h 0.95);
+      ("p99", pct_json h 0.99);
       ("buckets", Json.List buckets) ]
 
 let to_json snap =
@@ -248,6 +253,7 @@ let pp ppf snap =
       | Timer { total; count; max } ->
         Format.fprintf ppf "%s total=%.6fs count=%d max=%.6fs@." name total count max
       | Histogram h ->
+        let pct q = match percentile h q with None -> Float.nan | Some v -> v in
         Format.fprintf ppf "%s count=%d p50=%g p95=%g p99=%g max=%g@." name h.count
-          (percentile h 0.50) (percentile h 0.95) (percentile h 0.99) h.max)
+          (pct 0.50) (pct 0.95) (pct 0.99) h.max)
     snap

@@ -64,8 +64,9 @@ val bucket_bounds : float array
 (** Inclusive upper bounds of the histogram buckets; the last entry is
     [infinity] (the overflow bucket). *)
 
-val percentile : hsnap -> float -> float
-(** [percentile h q] for [q] in [0, 1]: the upper bound of the bucket
+val percentile : hsnap -> float -> float option
+(** [percentile h q] for [q] in [0, 1]: [None] when the histogram is
+    empty, otherwise the upper bound of the bucket
     holding the [ceil (q * count)]'th smallest sample, clamped into the
     exact [[min, max]] — so the result never leaves the observed range,
     and degenerate distributions (one sample, all samples in one bucket,

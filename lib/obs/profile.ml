@@ -32,12 +32,19 @@ type node = {
   inclusive : io;
   exclusive : io;
   q_error : float;
+  est_source : string;
   children : node list;
 }
 
+(* Flooring both operands at one row keeps the ratio finite and
+   symmetric when either side is zero: est=5/actual=0 reads q=5 (the
+   estimator invented five rows), est=0/actual=3 reads q=3, and the
+   degenerate 0/0 is a perfect q=1 — not the 1e9-ish artifacts the old
+   epsilon floor produced. *)
 let q_error ~est ~actual =
-  let est = Float.max est 1e-9 and actual = Float.max actual 1e-9 in
-  Float.max (est /. actual) (actual /. est)
+  let hi = Float.max 1.0 (Float.max est actual)
+  and lo = Float.max 1.0 (Float.min est actual) in
+  hi /. lo
 
 (* Mutable per-operator accumulator, one per plan node. *)
 type cell = {
@@ -222,14 +229,17 @@ let run ?(verify = false) ?(config = Config.default) ?spans ?registry db plan =
       inclusive;
       exclusive;
       q_error = q_error ~est:e.Cardest.card ~actual:(float_of_int cell.rows);
+      est_source = (if e.Cardest.fed then "feedback" else "model");
       children }
   in
   (rows, report, build plan est)
 
 let annot n =
   Printf.sprintf
-    "rows=%d est=%.1f q=%.2f batches=%d wall=%.4fs io: %d seq + %d rand + %d write (buffer %d/%d/%d) ~%.3fs"
-    n.actual_rows n.est_rows n.q_error n.batches n.exclusive_seconds
+    "rows=%d est=%.1f%s q=%.2f batches=%d wall=%.4fs io: %d seq + %d rand + %d write (buffer %d/%d/%d) ~%.3fs"
+    n.actual_rows n.est_rows
+    (if String.equal n.est_source "feedback" then " src=feedback" else "")
+    n.q_error n.batches n.exclusive_seconds
     n.exclusive.seq_reads n.exclusive.rand_reads n.exclusive.writes
     n.exclusive.buffer_hits n.exclusive.buffer_misses n.exclusive.buffer_evictions
     n.exclusive.simulated_seconds
@@ -262,6 +272,7 @@ let rec to_json n =
       ("wall_seconds", Json.float n.wall_seconds);
       ("exclusive_seconds", Json.float n.exclusive_seconds);
       ("q_error", Json.float n.q_error);
+      ("est_source", Json.String n.est_source);
       ("inclusive", io_json n.inclusive);
       ("exclusive", io_json n.exclusive);
       ("children", Json.List (List.map to_json n.children)) ]

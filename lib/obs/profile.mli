@@ -46,13 +46,19 @@ type node = {
           inclusive time over the tree (clamped at 0 against rounding) *)
   inclusive : io;
   exclusive : io;
-  q_error : float;  (** [max (est/actual) (actual/est)], 1.0 = perfect *)
+  q_error : float;
+      (** [max est actual 1 / max (min est actual) 1], 1.0 = perfect *)
+  est_source : string;
+      (** ["feedback"] when the estimate drew on observed statistics in
+          [config.feedback], ["model"] otherwise *)
   children : node list;
 }
 
 val q_error : est:float -> actual:float -> float
-(** Both sides clamped to [1e-9] so empty-vs-empty is a perfect 1.0
-    rather than 0/0. *)
+(** [max(est, actual, 1) / max(min(est, actual), 1)]. Flooring both
+    sides at one row keeps the ratio finite and symmetric around
+    zero-row cases: est=5/actual=0 is q=5, est=0/actual=3 is q=3, and
+    0/0 (or any pair both below a row) is a perfect 1.0. *)
 
 val run :
   ?verify:bool ->

@@ -66,6 +66,13 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.tbl key
 
+let peek t key = Option.map (fun n -> n.nval) (Hashtbl.find_opt t.tbl key)
+
+let update t key f =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some n -> n.nval <- f n.nval
+
 let evict_lru t =
   match t.tail with
   | None -> None

@@ -21,6 +21,14 @@ val find : 'v t -> string -> 'v option
 val mem : 'v t -> string -> bool
 (** No promotion, no counter update. *)
 
+val peek : 'v t -> string -> 'v option
+(** Like {!find} but with no promotion and no counter update — for
+    bookkeeping reads that must not perturb recency or hit/miss stats. *)
+
+val update : 'v t -> string -> ('v -> 'v) -> unit
+(** Replace the value in place (no promotion, no counters); no-op when
+    the key is absent. *)
+
 val add : 'v t -> string -> 'v -> string option
 (** Insert or replace (either way the entry becomes most-recently-used);
     returns the key evicted to make room, if any. Replacement never

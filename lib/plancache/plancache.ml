@@ -8,10 +8,18 @@ module Metrics = Oodb_obs.Metrics
 module Span = Oodb_obs.Span
 module Json = Oodb_util.Json
 
+type quality = {
+  q_execs : int;
+  q_max_qerror : float;
+  q_mean_qerror : float;
+  q_last_epoch : int;
+}
+
 type entry = {
   e_fingerprint : string;
   e_plan : Engine.plan option;
   e_stats : Engine.stats;
+  e_quality : quality option;
 }
 
 type t = {
@@ -19,6 +27,7 @@ type t = {
   cache_dir : string option;
   mutable disk_hits : int;
   mutable disk_rejects : int;
+  mutable qerror_evictions : int;
 }
 
 let default_capacity = 256
@@ -31,7 +40,11 @@ let rec mkdirs d =
 
 let create ?(capacity = default_capacity) ?dir () =
   Option.iter mkdirs dir;
-  { mem = Lru.create ~capacity; cache_dir = dir; disk_hits = 0; disk_rejects = 0 }
+  { mem = Lru.create ~capacity;
+    cache_dir = dir;
+    disk_hits = 0;
+    disk_rejects = 0;
+    qerror_evictions = 0 }
 
 let of_env ?capacity () =
   match Sys.getenv_opt "OODB_PLANCACHE_DIR" with
@@ -48,7 +61,7 @@ let dir t = t.cache_dir
    a renamed, truncated or old-format file degrades to a miss. Plans and
    stats are pure data (no closures), which is what makes Marshal safe
    here — the memo [ctx] is not, and is deliberately not cached. *)
-let magic = "oodb-plancache-v1"
+let magic = "oodb-plancache-v2"
 
 let entry_path d hex = Filename.concat d (hex ^ ".plan")
 
@@ -84,28 +97,55 @@ let disk_write d hex e =
 (* [validate] guards the disk tier only: in-memory entries were produced
    (and plan-linted) by this process, but a disk entry may predate a
    catalog or format change, so a validation failure deletes the file
-   and degrades to a miss. *)
-let lookup ?(validate = fun _ -> true) t fp =
+   and degrades to a miss.
+
+   [qerror_limit] guards both tiers: an entry whose recorded quality
+   shows a worse max q-error was mispriced badly enough that serving it
+   again just repeats the mistake — evict it everywhere so the caller
+   re-plans (with corrected statistics, when feedback is installed). *)
+let lookup ?(validate = fun _ -> true) ?qerror_limit t fp =
   let hex = Fingerprint.to_hex fp in
-  match Lru.find t.mem hex with
-  | Some _ as hit -> hit
-  | None -> (
+  let over e =
+    match qerror_limit, e.e_quality with
+    | Some limit, Some q -> q.q_max_qerror > limit
+    | _ -> false
+  in
+  let qerror_evict ~count_miss =
+    Lru.remove t.mem hex;
+    (* with the entry gone this counts the miss the eviction behaves as
+       (skipped on the disk path, where [find] above already missed) *)
+    if count_miss then ignore (Lru.find t.mem hex : entry option);
+    Option.iter
+      (fun d -> try Sys.remove (entry_path d hex) with Sys_error _ -> ())
+      t.cache_dir;
+    t.qerror_evictions <- t.qerror_evictions + 1;
+    None
+  in
+  (* Quality-gate the memory tier with a counter-free peek first, so a
+     gated eviction registers as the miss it behaves as, not a hit. *)
+  match Lru.peek t.mem hex with
+  | Some e when over e -> qerror_evict ~count_miss:true
+  | _ -> (
+    match Lru.find t.mem hex with
+    | Some e -> Some e
+    | None -> (
     match t.cache_dir with
     | None -> None
     | Some d -> (
       match disk_read d hex with
       | None -> None
       | Some e ->
-        if validate e then begin
-          t.disk_hits <- t.disk_hits + 1;
-          ignore (Lru.add t.mem hex e : string option);
-          Some e
-        end
-        else begin
+        if not (validate e) then begin
           t.disk_rejects <- t.disk_rejects + 1;
           (try Sys.remove (entry_path d hex) with Sys_error _ -> ());
           None
-        end))
+        end
+        else if over e then qerror_evict ~count_miss:false
+        else begin
+          t.disk_hits <- t.disk_hits + 1;
+          ignore (Lru.add t.mem hex e : string option);
+          Some e
+        end)))
 
 let insert_counting t fp e =
   let hex = Fingerprint.to_hex fp in
@@ -117,6 +157,52 @@ let insert_counting t fp e =
 let insert t fp e = ignore (insert_counting t fp e : string option)
 
 (* ------------------------------------------------------------------ *)
+(* Plan quality                                                         *)
+
+let merge_quality epoch ~max_qerror ~mean_qerror = function
+  | None ->
+    { q_execs = 1;
+      q_max_qerror = max_qerror;
+      q_mean_qerror = mean_qerror;
+      q_last_epoch = epoch }
+  | Some q ->
+    let n = float_of_int q.q_execs in
+    { q_execs = q.q_execs + 1;
+      q_max_qerror = Float.max q.q_max_qerror max_qerror;
+      q_mean_qerror = ((q.q_mean_qerror *. n) +. mean_qerror) /. (n +. 1.);
+      q_last_epoch = epoch }
+
+let note_execution t fp ~epoch ~max_qerror ~mean_qerror =
+  let hex = Fingerprint.to_hex fp in
+  let updated e =
+    { e with
+      e_quality = Some (merge_quality epoch ~max_qerror ~mean_qerror e.e_quality) }
+  in
+  match Lru.peek t.mem hex with
+  | Some e ->
+    let e = updated e in
+    Lru.update t.mem hex (fun _ -> e);
+    Option.iter (fun d -> disk_write d hex e) t.cache_dir
+  | None -> (
+    (* Not resident (evicted, or a fresh process with only the disk
+       tier): update the persisted copy in place without promoting it. *)
+    match t.cache_dir with
+    | None -> ()
+    | Some d -> (
+      match disk_read d hex with
+      | None -> ()
+      | Some e -> disk_write d hex (updated e)))
+
+let quality_json q =
+  Json.Obj
+    [ ("executions", Json.Int q.q_execs);
+      ("max_qerror", Json.float q.q_max_qerror);
+      ("mean_qerror", Json.float q.q_mean_qerror);
+      ("last_validated_epoch", Json.Int q.q_last_epoch) ]
+
+let entries t = List.map snd (Lru.items t.mem)
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 
 type stats = {
@@ -126,6 +212,7 @@ type stats = {
   evictions : int;
   disk_hits : int;
   disk_rejects : int;
+  qerror_evictions : int;
   entries : int;
   capacity : int;
 }
@@ -140,6 +227,7 @@ let stats t =
     evictions = c.Lru.evictions;
     disk_hits = t.disk_hits;
     disk_rejects = t.disk_rejects;
+    qerror_evictions = t.qerror_evictions;
     entries = Lru.length t.mem;
     capacity = Lru.capacity t.mem }
 
@@ -151,6 +239,7 @@ let stats_json s =
       ("evictions", Json.Int s.evictions);
       ("disk_hits", Json.Int s.disk_hits);
       ("disk_rejects", Json.Int s.disk_rejects);
+      ("qerror_evictions", Json.Int s.qerror_evictions);
       ("entries", Json.Int s.entries);
       ("capacity", Json.Int s.capacity) ]
 
@@ -190,7 +279,10 @@ let outcome_of_cold (o : Optimizer.outcome) =
     cached = false }
 
 let entry_of_cold hex (o : Optimizer.outcome) =
-  { e_fingerprint = hex; e_plan = o.Optimizer.plan; e_stats = o.Optimizer.stats }
+  { e_fingerprint = hex;
+    e_plan = o.Optimizer.plan;
+    e_stats = o.Optimizer.stats;
+    e_quality = None }
 
 (* A disk-tier plan must still typecheck against the current catalog
    (plan lint re-derives every operator's bindings and fields): the
@@ -201,8 +293,8 @@ let entry_typechecks cat e =
   | None -> true
   | Some p -> ( match Open_oodb.Planlint.plan cat p with Ok () -> true | Error _ -> false)
 
-let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry ?spans
-    (t : t) cat expr =
+let optimize ?(options = Options.default) ?(required = Physprop.empty) ?qerror_limit
+    ?registry ?spans (t : t) cat expr =
   if not options.Options.cache then begin
     mincr registry "plancache/bypass";
     outcome_of_cold
@@ -212,17 +304,20 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry
     let t0 = Sys.time () in
     let disk_before = t.disk_hits in
     let rejects_before = t.disk_rejects in
+    let qevict_before = t.qerror_evictions in
     let fp =
       Span.with_span spans ~cat:"plancache" "fingerprint" (fun () ->
           Fingerprint.make ~catalog:cat ~options ~required expr)
     in
     let found =
       Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () ->
-          lookup ~validate:(entry_typechecks cat) t fp)
+          lookup ~validate:(entry_typechecks cat) ?qerror_limit t fp)
     in
     (* Latency to a hit/miss verdict: fingerprinting plus both tiers. *)
     mhist registry "plancache/lookup_seconds" (Sys.time () -. t0);
     if t.disk_rejects > rejects_before then mincr registry "plancache/disk_reject";
+    if t.qerror_evictions > qevict_before then
+      mincr registry "plancache/qerror_eviction";
     match found with
     | Some e ->
       mincr registry "plancache/hit";
@@ -239,8 +334,8 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty) ?registry
       { (outcome_of_cold cold) with opt_seconds = Sys.time () -. t0 }
   end
 
-let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?registry
-    ?spans (t : t) cat qs =
+let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?qerror_limit
+    ?registry ?spans (t : t) cat qs =
   if not options.Options.cache then begin
     List.iter (fun _ -> mincr registry "plancache/bypass") qs;
     List.map outcome_of_cold
@@ -261,13 +356,16 @@ let optimize_all ?(options = Options.default) ?(required = Physprop.empty) ?regi
                    Fingerprint.make ~catalog:cat ~options ~required q)
              in
              let rejects_before = t.disk_rejects in
+             let qevict_before = t.qerror_evictions in
              let found =
                Span.with_span spans ~cat:"plancache" "cache-lookup" (fun () ->
-                   lookup ~validate:(entry_typechecks cat) t fp)
+                   lookup ~validate:(entry_typechecks cat) ?qerror_limit t fp)
              in
              mhist registry "plancache/lookup_seconds" (Sys.time () -. t0);
              if t.disk_rejects > rejects_before then
                mincr registry "plancache/disk_reject";
+             if t.qerror_evictions > qevict_before then
+               mincr registry "plancache/qerror_eviction";
              match found with
              | Some e ->
                mincr registry "plancache/hit";

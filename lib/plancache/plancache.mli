@@ -49,6 +49,9 @@ type stats = {
       (** disk entries rejected by validation (e.g. the plan no longer
           typechecks against the current catalog); each is deleted and
           counted as a miss *)
+  qerror_evictions : int;
+      (** entries evicted by the plan-quality gate: their recorded max
+          q-error exceeded the limit passed to {!lookup} *)
   entries : int;
   capacity : int;
 }
@@ -62,21 +65,55 @@ val clear : t -> unit
 
 (** {1 Entries} *)
 
+type quality = {
+  q_execs : int;  (** profiled executions recorded for this plan *)
+  q_max_qerror : float;  (** worst per-node q-error over all executions *)
+  q_mean_qerror : float;  (** mean of per-execution mean q-errors *)
+  q_last_epoch : int;  (** catalog epoch at the latest recorded execution *)
+}
+(** How well a cached plan's estimates matched reality when it actually
+    ran — the record the q-error gate ({!lookup}'s [qerror_limit])
+    judges. *)
+
 type entry = {
   e_fingerprint : string;  (** hex of the key it was stored under *)
   e_plan : Engine.plan option;
   e_stats : Engine.stats;  (** statistics of the cold search that produced it *)
+  e_quality : quality option;  (** accumulated by {!note_execution} *)
 }
 
-val lookup : ?validate:(entry -> bool) -> t -> Fingerprint.t -> entry option
+val lookup :
+  ?validate:(entry -> bool) ->
+  ?qerror_limit:float ->
+  t ->
+  Fingerprint.t ->
+  entry option
 (** Memory first, then disk (a disk hit is promoted into memory).
     [validate] guards the disk tier only: a disk entry that fails it is
     deleted and the lookup degrades to a miss. The cache-aware entry
     points pass a plan-lint check against the current catalog, so a
     stale directory (schema drift, dropped index) cannot resurrect a
-    plan that no longer typechecks. *)
+    plan that no longer typechecks.
+
+    [qerror_limit] guards {e both} tiers: an entry whose recorded
+    [q_max_qerror] exceeds it is evicted from memory and disk and the
+    lookup misses, so the caller re-plans — with corrected statistics
+    when runtime feedback is installed. Counted in
+    {!stats.qerror_evictions}. *)
 
 val insert : t -> Fingerprint.t -> entry -> unit
+
+val note_execution :
+  t -> Fingerprint.t -> epoch:int -> max_qerror:float -> mean_qerror:float -> unit
+(** Fold one profiled execution's plan quality into the entry's record,
+    in memory and (when persistent) on disk, without promoting the entry
+    or touching hit/miss counters. No-op when the fingerprint is not
+    cached. *)
+
+val quality_json : quality -> Json.t
+
+val entries : t -> entry list
+(** In-memory entries, most recently used first. *)
 
 (** {1 Cache-aware optimization} *)
 
@@ -90,6 +127,7 @@ type outcome = {
 val optimize :
   ?options:Options.t ->
   ?required:Physprop.t ->
+  ?qerror_limit:float ->
   ?registry:Metrics.t ->
   ?spans:Oodb_obs.Span.t ->
   t ->
@@ -102,8 +140,8 @@ val optimize :
     re-derives nothing — no well-formedness re-check, no logical
     properties, no rules. When [registry] is given, increments
     [plancache/hit], [plancache/miss], [plancache/insert],
-    [plancache/eviction], [plancache/disk_hit], [plancache/bypass] and
-    [plancache/derivations] (one per logical-property derivation, i.e.
+    [plancache/eviction], [plancache/disk_hit], [plancache/bypass],
+    [plancache/qerror_eviction] and [plancache/derivations] (one per logical-property derivation, i.e.
     per memo group created — zero on hits), and records the time to a
     hit/miss verdict in the [plancache/lookup_seconds] histogram.
     [spans] wraps fingerprinting and the lookup (category
@@ -112,6 +150,7 @@ val optimize :
 val optimize_all :
   ?options:Options.t ->
   ?required:Physprop.t ->
+  ?qerror_limit:float ->
   ?registry:Metrics.t ->
   ?spans:Oodb_obs.Span.t ->
   t ->

@@ -236,6 +236,38 @@ let generate ?(scale = 1.0) ?buffer_pages () =
 
 let generate_catalog_only ?scale () = Db.catalog (generate ?scale ~buffer_pages:64 ())
 
+(* The feedback-loop demo: the same database, but with the name
+   statistics corrupted to claim only [skewed_distinct] distinct employee
+   names where the data really has ~100. The estimator then prices
+   [name = "Fred"] at selectivity 1/2 — thousands of phantom matches —
+   so the cold optimizer rejects the name index in favor of a full scan,
+   and the first profiled execution records a q-error large enough
+   (~card/2 estimated vs ~card/100 actual) to trip the default
+   [feedback_qerror_limit] gate. Both the class distinct and the index's
+   [ix_distinct] are corrupted, keeping Select and collapse-index-scan
+   pricing consistent. The corruption is deterministic, so the catalog's
+   (epoch, digest) — and with them plan-cache fingerprints and
+   feedback-store scopes — agree across processes. *)
+let skewed_distinct = 2
+
+let generate_skewed ?scale ?buffer_pages () =
+  let db = generate ?scale ?buffer_pages () in
+  let cat = Db.catalog db in
+  (match Catalog.find_collection cat "Employees" with
+  | Some co ->
+    Catalog.set_distinct cat ~cls:co.Catalog.co_class ~field:"name" skewed_distinct
+  | None -> ());
+  (match
+     List.find_opt
+       (fun ix -> String.equal ix.Catalog.ix_name "employees_name")
+       (Catalog.indexes cat)
+   with
+  | Some ix ->
+    Catalog.drop_index cat "employees_name";
+    Catalog.add_index cat { ix with Catalog.ix_distinct = skewed_distinct }
+  | None -> ());
+  db
+
 (* ------------------------------------------------------------------ *)
 (* Enumerated micro-databases for bounded rule certification            *)
 

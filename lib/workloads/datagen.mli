@@ -23,6 +23,16 @@ val generate : ?scale:float -> ?buffer_pages:int -> unit -> Oodb_exec.Db.t
 val generate_catalog_only : ?scale:float -> unit -> Oodb_catalog.Catalog.t
 (** The catalog that [generate] would pair with the data. *)
 
+val generate_skewed : ?scale:float -> ?buffer_pages:int -> unit -> Oodb_exec.Db.t
+(** {!generate}, then deterministically corrupt the employee-name
+    statistics (class distinct and the [employees_name] index's
+    [ix_distinct]) down to 2 where the data really has ~100 distinct
+    names. The cold optimizer then prices [name = "Fred"] at selectivity
+    1/2 and rejects the name index; one profiled execution under
+    feedback observes the true selectivity and records a q-error past
+    the default gate, so the next optimization flips to the index scan.
+    The demo catalog for the cardinality-feedback loop. *)
+
 val micro : ?variant:int -> unit -> Oodb_exec.Db.t
 (** A micro-database with 2–4 objects per extent, for bounded
     (denotational) rule certification: small enough to evaluate both

@@ -39,6 +39,14 @@ let q4 =
   |> Logical.select
        [ eq (field "e" "name") (str "Fred"); eq (field "t" "time") (int 100) ]
 
+(* The feedback-loop demo (not in the paper): a single-table name
+   lookup whose plan depends entirely on how selective the optimizer
+   believes [name = "Fred"] is — file scan under the skewed statistics,
+   index scan once feedback corrects them. *)
+let fred =
+  Logical.get ~coll:"Employees" ~binding:"e"
+  |> Logical.select [ eq (field "e" "name") (str "Fred") ]
+
 (* Figure 2 *)
 let fig2 =
   Logical.get ~coll:"Cities" ~binding:"c"

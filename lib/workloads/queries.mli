@@ -32,5 +32,12 @@ val fig3 : Logical.t
 (** Figure 3: the set-valued path [task.team_members] unnested and
     materialized. *)
 
+val fred : Logical.t
+(** [Employees where name = "Fred"] — the cardinality-feedback demo
+    query: with {!Datagen.generate_skewed} statistics the cold plan is a
+    full scan; after one feedback pass the optimizer flips to the
+    [employees_name] index. Not part of {!all} (it is not a paper
+    query). *)
+
 val all : (string * Logical.t) list
 (** Named list of everything above. *)

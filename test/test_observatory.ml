@@ -34,6 +34,11 @@ let hist_of samples =
   | Some (Metrics.Histogram h) -> h
   | _ -> Alcotest.fail "histogram missing from snapshot"
 
+let pct h q =
+  match Metrics.percentile h q with
+  | Some v -> v
+  | None -> Alcotest.fail "percentile of non-empty histogram was None"
+
 let test_hist_exact_percentiles () =
   (* One sample: every percentile is that sample, exactly. *)
   let h = hist_of [ 0.005 ] in
@@ -41,8 +46,7 @@ let test_hist_exact_percentiles () =
     (fun q ->
       Alcotest.(check (float 0.))
         (Printf.sprintf "single sample p%.0f" (q *. 100.))
-        0.005
-        (Metrics.percentile h q))
+        0.005 (pct h q))
     [ 0.5; 0.95; 0.99; 1.0 ];
   (* All equal: clamping into [min, max] makes the bucket bound exact. *)
   let h = hist_of (List.init 10 (fun _ -> 0.003)) in
@@ -50,23 +54,30 @@ let test_hist_exact_percentiles () =
     (fun q ->
       Alcotest.(check (float 0.))
         (Printf.sprintf "all-equal p%.0f" (q *. 100.))
-        0.003
-        (Metrics.percentile h q))
+        0.003 (pct h q))
     [ 0.5; 0.95; 0.99 ];
   (* A sample beyond the top bucket bound lands in the overflow bucket,
      whose bound is infinity — the clamp to the exact max rescues it. *)
   let h = hist_of [ 1e9 ] in
   Alcotest.(check (float 0.)) "overflow sample p99 is the exact max" 1e9
-    (Metrics.percentile h 0.99);
+    (pct h 0.99);
+  (* An empty histogram has no percentiles at all. *)
+  let empty =
+    { Metrics.count = 0;
+      sum = 0.;
+      min = infinity;
+      max = neg_infinity;
+      counts = Array.make (Array.length Metrics.bucket_bounds) 0 }
+  in
+  Alcotest.(check bool) "empty histogram p50 is None" true
+    (Metrics.percentile empty 0.5 = None);
   Alcotest.(check bool) "overflow bucket bound is infinite" true
     (Metrics.bucket_bounds.(Array.length Metrics.bucket_bounds - 1) = infinity)
 
 let test_hist_monotone_and_bounded () =
   let samples = [ 1e-5; 3e-5; 2e-4; 0.001; 0.004; 0.004; 0.02; 0.1; 0.5; 2.0 ] in
   let h = hist_of samples in
-  let p50 = Metrics.percentile h 0.5
-  and p95 = Metrics.percentile h 0.95
-  and p99 = Metrics.percentile h 0.99 in
+  let p50 = pct h 0.5 and p95 = pct h 0.95 and p99 = pct h 0.99 in
   Alcotest.(check int) "count" (List.length samples) h.Metrics.count;
   Alcotest.(check (float 0.)) "max exact" 2.0 h.Metrics.max;
   Alcotest.(check (float 0.)) "min exact" 1e-5 h.Metrics.min;
@@ -254,7 +265,8 @@ let sample_query name opt exec =
     q_exec_median = exec *. 1.2;
     q_rows = 42;
     q_groups = 17;
-    q_rules_fired = 23 }
+    q_rules_fired = 23;
+    q_mean_qerror = 1.5 }
 
 let sample_record ?(sha = "abc1234") ?(opt = 0.002) ?(exec = 0.010) () =
   { History.r_git_sha = sha;
@@ -268,6 +280,31 @@ let test_history_roundtrip () =
   (match History.of_json (History.to_json r) with
   | Ok r' -> Alcotest.(check bool) "record survives to_json/of_json" true (r = r')
   | Error e -> Alcotest.fail ("round-trip failed: " ^ e));
+  (* An unprofiled run's nan mean_qerror encodes as null and reads back
+     as nan; a v1 record (field absent entirely) reads as nan too. *)
+  let q = { (sample_query "q1" 0.002 0.010) with History.q_mean_qerror = Float.nan } in
+  let nan_rec = { (sample_record ()) with History.r_queries = [ q ] } in
+  (match History.of_json (History.to_json nan_rec) with
+  | Ok r' ->
+    Alcotest.(check bool) "nan mean_qerror survives as nan" true
+      (Float.is_nan (List.hd r'.History.r_queries).History.q_mean_qerror)
+  | Error e -> Alcotest.fail ("nan round-trip failed: " ^ e));
+  (match History.to_json nan_rec with
+  | Json.Obj fields ->
+    let v1 =
+      Json.Obj
+        (List.map
+           (function
+             | "schema_version", _ -> ("schema_version", Json.Int 1)
+             | kv -> kv)
+           fields)
+    in
+    (match History.of_json v1 with
+    | Ok r' ->
+      Alcotest.(check bool) "v1 record still loads" true
+        (Float.is_nan (List.hd r'.History.r_queries).History.q_mean_qerror)
+    | Error e -> Alcotest.fail ("v1 record rejected: " ^ e))
+  | _ -> Alcotest.fail "to_json is not an object");
   (* Version gate: a record from the future must be rejected. *)
   match History.to_json r with
   | Json.Obj fields ->
