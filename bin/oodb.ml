@@ -17,7 +17,9 @@
      oodb stats [-o FILE]                  full machine-readable workload report
      oodb bench-compare OLD [NEW]          regression gate over bench history records
      oodb greedy --paper q4                the ObjectStore-style greedy baseline
-     oodb analyze --scale 0.2              refresh catalog statistics from data *)
+     oodb analyze --scale 0.2              refresh catalog statistics from data
+     oodb gen --seed 42 --scenarios 100    seeded scenarios + differential fuzzing
+     oodb effectiveness --seed 42          OptMark-style plan rank/regret scoring *)
 
 module Value = Oodb_storage.Value
 module Logical = Oodb_algebra.Logical
@@ -40,6 +42,9 @@ module Plancache = Oodb_plancache.Plancache
 module Fingerprint = Oodb_plancache.Fingerprint
 module Feedback = Oodb_obs.Feedback
 module Datagen = Oodb_workloads.Datagen
+module Scenario = Oodb_scenario.Scenario
+module Differential = Oodb_scenario.Differential
+module Effectiveness = Oodb_scenario.Effectiveness
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -925,10 +930,135 @@ let certify_cmd =
           refuted, statically unsound, or never exercised.")
     Term.(const certify_run $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* gen / effectiveness: the seeded scenario factory                     *)
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Root seed; every scenario is derived from (seed, index), so scenario $(i,i) \
+              is the same regardless of how many scenarios are generated around it.")
+
+let scenarios_arg =
+  Arg.(value & opt int 10 & info [ "scenarios"; "n" ] ~docv:"N" ~doc:"Scenarios to generate.")
+
+let zql_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "zql-out" ] ~docv:"DIR"
+        ~doc:"Also write every generated query as $(docv)/s<index>_<name>.zql.")
+
+let emit_json out json =
+  let text = Json.to_string json in
+  match out with
+  | None -> print_endline text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    output_char oc '\n';
+    close_out oc;
+    Format.eprintf "wrote %s@." path
+
+let gen_run seed n zql_out out =
+  (match zql_out with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let failed = ref 0 in
+  let reports =
+    List.init n (fun index ->
+        let sc = Scenario.generate ~seed ~index in
+        (match zql_out with
+        | None -> ()
+        | Some dir ->
+          List.iter
+            (fun (qc : Scenario.query_case) ->
+              write_file
+                (Filename.concat dir
+                   (Printf.sprintf "s%d_%s.zql" index qc.Scenario.qc_name))
+                qc.Scenario.qc_zql)
+            sc.Scenario.sc_queries);
+        let r = Differential.run sc in
+        if r.Differential.d_failures <> [] then begin
+          incr failed;
+          List.iter
+            (fun (f : Differential.failure) ->
+              Format.eprintf "scenario %d: %s under %s: %s@.  zql: %s@.  shrunk: %s@." index
+                f.Differential.f_query f.Differential.f_variant f.Differential.f_detail
+                f.Differential.f_zql f.Differential.f_shrunk_zql)
+            r.Differential.d_failures
+        end;
+        Json.Obj
+          [ ("digest", Json.String (Scenario.digest sc));
+            ("scenario", Scenario.to_json sc);
+            ("differential", Differential.report_json r) ])
+  in
+  (* no wall-clock anywhere in the report: repeated runs must produce
+     byte-identical JSON (the reproducibility contract) *)
+  let json =
+    Json.Obj
+      [ ("seed", Json.Int seed); ("scenarios", Json.Int n);
+        ("reports", Json.List reports) ]
+  in
+  let digest = Digest.to_hex (Digest.string (Json.to_string json)) in
+  emit_json out (Json.Obj [ ("digest", Json.String digest); ("report", json) ]);
+  if !failed > 0 then 1 else 0
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate seeded random scenarios (OODB schema, populated store, indexes, ZQL \
+          queries) and differentially fuzz each one: every query is optimized and executed \
+          under batch-size, pruning, rule-toggle, plan-cache and feedback variants, every \
+          winner is statically verified, and all row multisets must agree. Failures are \
+          shrunk to minimal ZQL counterexamples. The JSON report is deterministic: same \
+          seed, same bytes.")
+    Term.(const gen_run $ seed_arg $ scenarios_arg $ zql_out_arg $ out_arg)
+
+let effectiveness_run seed n sample out =
+  let mismatches = ref 0 in
+  let reports =
+    List.init n (fun index ->
+        let t0 = Sys.time () in
+        let sc = Scenario.generate ~seed ~index in
+        let r = Effectiveness.run ~sample sc in
+        List.iter
+          (fun (s : Effectiveness.score) ->
+            mismatches := !mismatches + s.Effectiveness.s_row_mismatches)
+          r.Effectiveness.e_scores;
+        Printf.eprintf "scenario %d: scored in %.1fs\n%!" index
+          (Sys.time () -. t0);
+        Effectiveness.report_json r)
+  in
+  emit_json out
+    (Json.Obj
+       [ ("seed", Json.Int seed); ("scenarios", Json.Int n); ("sample", Json.Int sample);
+         ("reports", Json.List reports) ]);
+  if !mismatches > 0 then 1 else 0
+
+let sample_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "sample" ] ~docv:"K"
+        ~doc:"Alternative plans sampled from the memo per query (chosen plan included).")
+
+let effectiveness_cmd =
+  Cmd.v
+    (Cmd.info "effectiveness"
+       ~doc:
+         "OptMark-style optimizer effectiveness scoring over seeded scenarios: sample \
+          structurally distinct alternative plans from each query's memo, execute every \
+          one on the simulated store, and report the chosen plan's rank and regret \
+          against the best sampled alternative. Each report includes a negative control \
+          (the anchor lookup re-scored under corrupted statistics) whose regret is \
+          expected to exceed 1. Exits nonzero if any sampled plan disagrees on rows.")
+    Term.(const effectiveness_run $ seed_arg $ scenarios_arg $ sample_arg $ out_arg)
+
 let () =
   let doc = "The Open OODB query optimizer (SIGMOD 1993 reproduction)" in
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ catalog_cmd; rules_cmd; optimize_cmd; optimize_all_cmd; memo_cmd; run_cmd;
             feedback_cmd; explain_cmd; bench_compare_cmd; greedy_cmd; analyze_cmd;
-            stats_cmd; lint_cmd; certify_cmd ]))
+            stats_cmd; lint_cmd; certify_cmd; gen_cmd; effectiveness_cmd ]))

@@ -461,9 +461,12 @@ let alg_unnest db ~src ~field ~out ~batch_size child =
       Iterator.close child)
 
 (* ------------------------------------------------------------------ *)
-(* Set operations (by tuple identity: the OIDs of all bindings)         *)
+(* Set operations (by tuple identity: the OIDs of all bindings).
+   Env.bindings follows the branch's join order, and the two inputs of
+   a set operation are free to join in different orders — the key must
+   be canonical across branches, so sort the binding names first. *)
 
-let env_key env = Env.key_of env (Env.bindings env)
+let env_key env = Env.key_of env (List.sort compare (Env.bindings env))
 
 let hash_union ~batch_size left right =
   Iterator.of_list_thunk ~batch_size (fun () ->

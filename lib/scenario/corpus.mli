@@ -1,0 +1,33 @@
+(** The shared fuzz population over the shipped (Table 1) workload
+    schema: random well-formed logical expressions built by a seeded
+    walk over the reference graph. One generator feeds the plan-cache
+    fingerprint tests, the typed-algebra property tests and the
+    vectorized-executor differential tests, so they all exercise the
+    same query distribution.
+
+    For fuzzing over {e generated} schemas — where the schema itself is
+    random — see {!Scenario} and {!Querygen}, which go through the ZQL
+    front end instead of building algebra directly. *)
+
+val refs_of : string -> (string * string) list
+(** Reference-valued fields of a workload class, with target classes. *)
+
+val scalars_of : string -> (string * [ `Int | `Str ]) list
+(** Scalar fields of a workload class usable in generated atoms. *)
+
+val roots : (string * string) array
+(** Scannable [(collection, class)] roots. *)
+
+val str_pool : string array
+(** String constants that actually occur in the generated data. *)
+
+val cmps : Oodb_algebra.Pred.cmp array
+
+val gen_expr : seed:int -> root_name:string -> Oodb_algebra.Logical.t
+(** Deterministic: equal seeds yield equal expressions; the same seed
+    with a different [root_name] yields an alpha-renamed variant (every
+    derived binding name flows from the root), which is what the
+    fingerprint tests rely on. *)
+
+val n_fuzz : int
+(** Default population size used by the in-tree fuzz suites. *)

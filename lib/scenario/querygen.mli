@@ -1,0 +1,31 @@
+(** Random ZQL queries over a generated schema ({!Schemagen.t}).
+
+    Each scenario gets a fixed mix: an indexed anchor [lookup], a
+    multi-way anchor-rooted [rich] join (the effectiveness-sampling
+    workhorse), a [setop] query (UNION/INTERSECT/EXCEPT with
+    scope-identical branches), and {!n_random} free-form queries that
+    may mix joins in both reference directions, set-valued ranges, deep
+    path predicates, correlated EXISTS subqueries, projections and ORDER
+    BY. All queries are returned as abstract syntax; callers render them
+    with {!Zql.Ast.to_zql} so the concrete lexer/parser sit on the fuzz
+    path. *)
+
+val lookup_query : Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
+
+val rich_query : Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
+
+val setop_query : Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
+
+val random_query : Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
+
+val n_random : int
+
+val generate :
+  Oodb_util.Prng.t -> Oodb_catalog.Catalog.t -> Schemagen.t -> (string * Zql.Ast.query) list
+(** The per-scenario query set, each validated against the catalog by
+    running the real simplifier (rejected draws are retried from the
+    same stream, so output is still a pure function of the generator
+    state).
+
+    @raise Failure if a query shape repeatedly fails to simplify —
+    a generator bug, not an input condition. *)

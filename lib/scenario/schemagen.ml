@@ -1,0 +1,252 @@
+module Prng = Oodb_util.Prng
+module Value = Oodb_storage.Value
+module Schema = Oodb_catalog.Schema
+module Json = Oodb_util.Json
+
+type scalar =
+  | F_int of int  (* values uniform in [0, n) *)
+  | F_str of int  (* "w<i>" with i uniform in [0, n) *)
+  | F_float
+  | F_date
+  | F_bool
+
+type set_src =
+  | S_inverse of { src_cls : string; ref_field : string }
+  | S_random of int
+
+type cls = {
+  c_name : string;
+  c_card : int;
+  c_bytes : int;
+  c_name_pool : int;  (* pool size of the "name" scalar *)
+  c_scalars : (string * scalar) list;  (* includes ("name", F_str c_name_pool) *)
+  c_refs : (string * string) list;  (* field -> target class, strictly earlier *)
+  c_sets : (string * string * set_src) list;  (* field, element class, contents *)
+}
+
+type index =
+  | I_field of { ix_name : string; ix_cls : string; ix_field : string }
+  | I_path of { ix_name : string; ix_cls : string; ix_ref : string; ix_field : string }
+
+type t = {
+  g_classes : cls list;
+  g_indexes : index list;
+  g_anchor : string;
+}
+
+let coll_of cls = cls ^ "s"
+
+let find_cls t name = List.find (fun c -> c.c_name = name) t.g_classes
+
+let anchor_cls t = find_cls t t.g_anchor
+
+(* Name pools kept deliberately small and boring: the point is the
+   shape of the schema graph (fanout, depth, set-valued links), not the
+   vocabulary. *)
+let class_pool =
+  [| "Part"; "Supplier"; "Order"; "Site"; "Agent"; "Folder"; "Doc"; "Team"; "Asset";
+     "Route"; "Hub"; "Crate" |]
+
+let ref_field_pool = [| "owner"; "site"; "link"; "peer" |]
+
+let scalar_pool rng =
+  [| ("rank", F_int (2 + Prng.int rng 14));
+     ("size", F_int (10 + Prng.int rng 190));
+     ("score", F_float);
+     ("since", F_date);
+     ("active", F_bool);
+     ("tag", F_str (2 + Prng.int rng 6)) |]
+
+(* One value of a scalar kind — shared by the data generator (stored
+   fields) and the query generator (comparison literals), so generated
+   predicates select with realistic, nonzero frequencies. *)
+let value_of_scalar rng = function
+  | F_int n -> Value.Int (Prng.int rng n)
+  | F_str n -> Value.Str (Printf.sprintf "w%d" (Prng.int rng n))
+  | F_float -> Value.Float (float_of_int (Prng.int rng 1000) /. 10.0)
+  | F_date ->
+    Value.Date
+      (Value.date_of_ymd (1980 + Prng.int rng 40) (1 + Prng.int rng 12) (1 + Prng.int rng 28))
+  | F_bool -> Value.Bool (Prng.bool rng)
+
+let generate rng =
+  let n = Prng.int_in rng 3 6 in
+  let names =
+    let pool = Array.copy class_pool in
+    Prng.shuffle rng pool;
+    Array.sub pool 0 n
+  in
+  let anchor = names.(n - 1) in
+  let classes =
+    Array.to_list
+      (Array.init n (fun i ->
+           let name = names.(i) in
+           (* Cardinalities are sized so that even the worst sampled
+              plan (a cross-product join order from the memo) executes
+              in well under a second — effectiveness scoring runs every
+              sampled alternative for real. *)
+           let card =
+             if name = anchor then Prng.int_in rng 60 100 else Prng.int_in rng 12 40
+           in
+           (* anchor names are near-unique so an equality lookup through
+              its index touches ~1 object — the negative-control query *)
+           let name_pool = if name = anchor then 2 * card else max 4 (card / 3) in
+           let pool = scalar_pool rng in
+           Prng.shuffle rng pool;
+           let extra = Array.to_list (Array.sub pool 0 (2 + Prng.int rng 2)) in
+           let refs =
+             if i = 0 then []
+             else begin
+               let targets = Array.init i (fun j -> names.(j)) in
+               Prng.shuffle rng targets;
+               let k = Prng.int_in rng 1 (min 2 i) in
+               List.init k (fun p -> (ref_field_pool.(p), targets.(p)))
+             end
+           in
+           { c_name = name;
+             c_card = card;
+             c_bytes = 100 * (1 + Prng.int rng 4);
+             c_name_pool = name_pool;
+             c_scalars = ("name", F_str name_pool) :: extra;
+             c_refs = refs;
+             c_sets = [] }))
+  in
+  (* Second pass: set-valued fields. Inverse relationships hang the
+     preimage of a reference on its target (wired after insertion, so
+     they point "forward" to later classes); forward sets are random
+     subsets of an earlier extent. *)
+  let classes =
+    List.map
+      (fun c ->
+        let inverses =
+          List.concat_map
+            (fun (src : cls) ->
+              List.filter_map
+                (fun (f, target) ->
+                  if target = c.c_name && Prng.bool rng then
+                    Some
+                      ( Printf.sprintf "rev_%s_%s" (String.lowercase_ascii src.c_name) f,
+                        src.c_name,
+                        S_inverse { src_cls = src.c_name; ref_field = f } )
+                  else None)
+                src.c_refs)
+            classes
+        in
+        let forward =
+          if c.c_refs <> [] && Prng.int rng 3 = 0 then
+            [ ("group", snd (List.hd c.c_refs), S_random (1 + Prng.int rng 4)) ]
+          else []
+        in
+        { c with c_sets = inverses @ forward })
+      classes
+  in
+  let spec = { g_classes = classes; g_indexes = []; g_anchor = anchor } in
+  let indexes = ref [] in
+  let have cls field =
+    List.exists
+      (function
+        | I_field ix -> ix.ix_cls = cls && ix.ix_field = field
+        | I_path _ -> false)
+      !indexes
+  in
+  indexes :=
+    [ I_field
+        { ix_name = Printf.sprintf "ix_%s_name" (String.lowercase_ascii (coll_of anchor));
+          ix_cls = anchor;
+          ix_field = "name" } ];
+  List.iter
+    (fun c ->
+      if Prng.int rng 3 = 0 then begin
+        let f, _ = Prng.pick rng (Array.of_list c.c_scalars) in
+        if not (have c.c_name f) then
+          indexes :=
+            I_field
+              { ix_name =
+                  Printf.sprintf "ix_%s_%s" (String.lowercase_ascii (coll_of c.c_name)) f;
+                ix_cls = c.c_name;
+                ix_field = f }
+            :: !indexes
+      end;
+      match c.c_refs with
+      | (rf, _target) :: _ when Prng.int rng 4 = 0 ->
+        indexes :=
+          I_path
+            { ix_name =
+                Printf.sprintf "ix_%s_%s_name" (String.lowercase_ascii (coll_of c.c_name)) rf;
+              ix_cls = c.c_name;
+              ix_ref = rf;
+              ix_field = "name" }
+          :: !indexes
+      | _ -> ())
+    classes;
+  { spec with g_indexes = List.rev !indexes }
+
+let attr_of_scalar = function
+  | F_int _ -> Schema.Int
+  | F_str _ -> Schema.String
+  | F_float -> Schema.Float
+  | F_date -> Schema.Date
+  | F_bool -> Schema.Bool
+
+let to_schema t =
+  Schema.create
+    (List.map
+       (fun c ->
+         { Schema.cl_name = c.c_name;
+           cl_attrs =
+             List.map (fun (f, k) -> { Schema.a_name = f; a_ty = attr_of_scalar k }) c.c_scalars
+             @ List.map (fun (f, target) -> { Schema.a_name = f; a_ty = Schema.Ref target }) c.c_refs
+             @ List.map
+                 (fun (f, elem, _) ->
+                   { Schema.a_name = f; a_ty = Schema.Set_of (Schema.Ref elem) })
+                 c.c_sets })
+       t.g_classes)
+
+let scalar_json = function
+  | F_int n -> Json.Obj [ ("kind", Json.String "int"); ("range", Json.Int n) ]
+  | F_str n -> Json.Obj [ ("kind", Json.String "str"); ("pool", Json.Int n) ]
+  | F_float -> Json.Obj [ ("kind", Json.String "float") ]
+  | F_date -> Json.Obj [ ("kind", Json.String "date") ]
+  | F_bool -> Json.Obj [ ("kind", Json.String "bool") ]
+
+let index_json = function
+  | I_field ix ->
+    Json.Obj
+      [ ("name", Json.String ix.ix_name); ("class", Json.String ix.ix_cls);
+        ("path", Json.List [ Json.String ix.ix_field ]) ]
+  | I_path ix ->
+    Json.Obj
+      [ ("name", Json.String ix.ix_name); ("class", Json.String ix.ix_cls);
+        ("path", Json.List [ Json.String ix.ix_ref; Json.String ix.ix_field ]) ]
+
+let to_json t =
+  Json.Obj
+    [ ("anchor", Json.String t.g_anchor);
+      ( "classes",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [ ("name", Json.String c.c_name);
+                   ("card", Json.Int c.c_card);
+                   ("bytes", Json.Int c.c_bytes);
+                   ( "scalars",
+                     Json.Obj (List.map (fun (f, k) -> (f, scalar_json k)) c.c_scalars) );
+                   ( "refs",
+                     Json.Obj (List.map (fun (f, tgt) -> (f, Json.String tgt)) c.c_refs) );
+                   ( "sets",
+                     Json.Obj
+                       (List.map
+                          (fun (f, elem, src) ->
+                            ( f,
+                              Json.Obj
+                                [ ("elem", Json.String elem);
+                                  ( "src",
+                                    Json.String
+                                      (match src with
+                                      | S_inverse i ->
+                                        Printf.sprintf "inverse(%s.%s)" i.src_cls i.ref_field
+                                      | S_random n -> Printf.sprintf "random(%d)" n) ) ] ))
+                          c.c_sets) ) ])
+             t.g_classes) );
+      ("indexes", Json.List (List.map index_json t.g_indexes)) ]

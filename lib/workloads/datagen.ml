@@ -151,7 +151,47 @@ let build_data store c =
   in
   ()
 
-let measured_catalog store c =
+(* Generic measured-statistics and index installation helpers, shared
+   between this module's Table-1 database and the scenario factory's
+   generated databases (lib/scenario). *)
+
+let measured_distinct store ~coll ~field =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun oid -> Hashtbl.replace seen (Store.field (Store.peek store oid) field) ())
+    (Store.oids store ~coll);
+  Hashtbl.length seen
+
+let measured_avg_set_size store ~coll ~field =
+  let total, n =
+    List.fold_left
+      (fun (total, n) oid ->
+        (total + List.length (Value.set_elements (Store.field (Store.peek store oid) field)),
+         n + 1))
+      (0, 0) (Store.oids store ~coll)
+  in
+  float_of_int total /. float_of_int (max 1 n)
+
+let install_index store db cat ~name ~coll ~path ~key =
+  let ix = Btree_index.build store ~name ~coll ~key in
+  Db.add_index db ix;
+  Catalog.add_index cat
+    { Catalog.ix_name = name;
+      ix_coll = coll;
+      ix_path = path;
+      ix_distinct = Btree_index.distinct_keys ix }
+
+let add_field_index store db cat ~name ~coll ~field =
+  install_index store db cat ~name ~coll ~path:[ field ] ~key:(fun oid ->
+      Store.field (Store.peek store oid) field)
+
+let add_path_index store db cat ~name ~coll ~ref_field ~field =
+  install_index store db cat ~name ~coll ~path:[ ref_field; field ] ~key:(fun oid ->
+      match Value.as_ref (Store.field (Store.peek store oid) ref_field) with
+      | Some target -> Store.field (Store.peek store target) field
+      | None -> Value.Null)
+
+let measured_catalog store =
   let cat = Catalog.create (OC.schema ()) in
   let kind_of = function
     | "Capitals" | "Cities" | "Employees" | "Tasks" -> Catalog.Set
@@ -171,54 +211,22 @@ let measured_catalog store c =
   (* Measured distinct-value statistics (same set of attributes as the
      paper-exact catalog; Task.time and Employee.name intentionally come
      only from index statistics). *)
-  let distinct coll field =
-    let seen = Hashtbl.create 64 in
-    List.iter
-      (fun oid -> Hashtbl.replace seen (Store.field (Store.peek store oid) field) ())
-      (Store.oids store ~coll);
-    Hashtbl.length seen
-  in
+  let distinct coll field = measured_distinct store ~coll ~field in
   Catalog.set_distinct cat ~cls:"Person" ~field:"name" (distinct "Persons" "name");
   Catalog.set_distinct cat ~cls:"Person" ~field:"age" (distinct "Persons" "age");
   Catalog.set_distinct cat ~cls:"Plant" ~field:"location" (distinct "Plant.heap" "location");
   Catalog.set_distinct cat ~cls:"Department" ~field:"floor" (distinct "Departments" "floor");
   Catalog.set_distinct cat ~cls:"City" ~field:"name" (distinct "Cities" "name");
   Catalog.set_distinct cat ~cls:"Job" ~field:"name" (distinct "Jobs" "name");
-  let avg_team =
-    let total =
-      List.fold_left
-        (fun acc oid ->
-          acc + List.length (Value.set_elements (Store.field (Store.peek store oid) "team_members")))
-        0 (Store.oids store ~coll:"Tasks")
-    in
-    float_of_int total /. float_of_int (max 1 c.n_tasks)
-  in
-  Catalog.set_avg_set_size cat ~cls:"Task" ~field:"team_members" avg_team;
+  Catalog.set_avg_set_size cat ~cls:"Task" ~field:"team_members"
+    (measured_avg_set_size store ~coll:"Tasks" ~field:"team_members");
   cat
 
 let build_indexes store db cat =
-  let mayor_name oid =
-    let city = Store.peek store oid in
-    match Value.as_ref (Store.field city "mayor") with
-    | Some m -> Store.field (Store.peek store m) "name"
-    | None -> Value.Null
-  in
-  let field_key coll field oid =
-    ignore coll;
-    Store.field (Store.peek store oid) field
-  in
-  let add name coll path key =
-    let ix = Btree_index.build store ~name ~coll ~key in
-    Db.add_index db ix;
-    Catalog.add_index cat
-      { Catalog.ix_name = name;
-        ix_coll = coll;
-        ix_path = path;
-        ix_distinct = Btree_index.distinct_keys ix }
-  in
-  add "cities_mayor_name" "Cities" [ "mayor"; "name" ] mayor_name;
-  add "tasks_time" "Tasks" [ "time" ] (field_key "Tasks" "time");
-  add "employees_name" "Employees" [ "name" ] (field_key "Employees" "name")
+  add_path_index store db cat ~name:"cities_mayor_name" ~coll:"Cities" ~ref_field:"mayor"
+    ~field:"name";
+  add_field_index store db cat ~name:"tasks_time" ~coll:"Tasks" ~field:"time";
+  add_field_index store db cat ~name:"employees_name" ~coll:"Employees" ~field:"name"
 
 let generate ?(scale = 1.0) ?buffer_pages () =
   let c = counts_of_scale scale in
@@ -229,7 +237,7 @@ let generate ?(scale = 1.0) ?buffer_pages () =
   in
   let store = Store.create ~buffer_pages () in
   build_data store c;
-  let cat = measured_catalog store c in
+  let cat = measured_catalog store in
   let db = Db.create cat store in
   build_indexes store db cat;
   db
@@ -299,7 +307,7 @@ let micro ?(variant = 0) () =
   in
   let store = Store.create ~buffer_pages:64 () in
   build_data store c;
-  let cat = measured_catalog store c in
+  let cat = measured_catalog store in
   let db = Db.create cat store in
   build_indexes store db cat;
   db

@@ -13,6 +13,43 @@
     All data derives from fixed congruences, not a PRNG, so runs are
     reproducible and counts are exact. *)
 
+(** {1 Generic measured-statistics and index helpers}
+
+    Shared with the scenario factory ([lib/scenario]), whose generated
+    databases install the same kind of measured catalog statistics and
+    B-tree indexes as the Table-1 database below. *)
+
+val measured_distinct : Oodb_storage.Store.t -> coll:string -> field:string -> int
+(** Exact distinct-value count of a stored field, via free [peek] reads. *)
+
+val measured_avg_set_size : Oodb_storage.Store.t -> coll:string -> field:string -> float
+(** Mean cardinality of a set-valued field over a collection. *)
+
+val add_field_index :
+  Oodb_storage.Store.t ->
+  Oodb_exec.Db.t ->
+  Oodb_catalog.Catalog.t ->
+  name:string ->
+  coll:string ->
+  field:string ->
+  unit
+(** Build a B-tree index on a terminal field, register it with the
+    database, and record its metadata (with measured [ix_distinct]) in
+    the catalog. *)
+
+val add_path_index :
+  Oodb_storage.Store.t ->
+  Oodb_exec.Db.t ->
+  Oodb_catalog.Catalog.t ->
+  name:string ->
+  coll:string ->
+  ref_field:string ->
+  field:string ->
+  unit
+(** Same for a two-step path index [ref_field.field] (the shape of the
+    paper's [cities_mayor_name]); objects with a null reference key as
+    [Null]. *)
+
 val generate : ?scale:float -> ?buffer_pages:int -> unit -> Oodb_exec.Db.t
 (** Build store + physical indexes under a fresh
     {!Oodb_catalog.Open_oodb_catalog.catalog_with_indexes} catalog whose

@@ -30,11 +30,14 @@ and src =
 
 and select_item = { si_expr : expr; si_as : string option }
 
+and setop = Union | Intersect | Except
+
 and query = {
   q_select : select_item list;
   q_from : range list;
   q_where : cond option;
   q_order : path option;
+  q_setops : (setop * query) list;
 }
 
 let rec conjuncts = function
@@ -73,6 +76,11 @@ and pp_select_item ppf si =
   pp_expr ppf si.si_expr;
   match si.si_as with Some n -> Format.fprintf ppf " AS %s" n | None -> ()
 
+and setop_name = function
+  | Union -> "UNION"
+  | Intersect -> "INTERSECT"
+  | Except -> "EXCEPT"
+
 and pp_query ppf q =
   Format.pp_print_string ppf "SELECT ";
   (match q.q_select with
@@ -88,6 +96,115 @@ and pp_query ppf q =
   (match q.q_where with
   | None -> ()
   | Some c -> Format.fprintf ppf " WHERE %a" pp_cond c);
-  match q.q_order with
+  (match q.q_order with
   | None -> ()
-  | Some p -> Format.fprintf ppf " ORDER BY %a" pp_path p
+  | Some p -> Format.fprintf ppf " ORDER BY %a" pp_path p);
+  List.iter (fun (op, rhs) -> Format.fprintf ppf " %s %a" (setop_name op) pp_query rhs)
+    q.q_setops
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-syntax emission: [to_zql] renders a query as text the lexer
+   and parser accept, so generated queries can be pushed through the
+   whole front end (and written to .zql files) rather than handed to the
+   simplifier as ASTs. The scenario factory's round-trip property pins
+   [parse (to_zql q)] to simplify to the same logical expression as
+   [q]. *)
+
+exception Unprintable of string
+
+(* The lexer has no sign or exponent syntax, so only non-negative
+   numeric literals can be rendered; the query generators stay inside
+   this subset. *)
+let zql_literal v =
+  match v with
+  | Value.Int i ->
+    if i < 0 then raise (Unprintable "negative integer literal");
+    string_of_int i
+  | Value.Float f ->
+    if not (Float.is_finite f) || f < 0.0 then raise (Unprintable "unprintable float literal");
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s 'e' then raise (Unprintable "float literal needs an exponent");
+    if String.contains s '.' then s else s ^ ".0"
+  | Value.Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  | Value.Bool true -> "true"
+  | Value.Bool false -> "false"
+  | Value.Date d ->
+    Printf.sprintf "date(%d, %d, %d)" ((d / 372) + 1900) ((d mod 372 / 31) + 1)
+      ((d mod 31) + 1)
+  | Value.Null | Value.Ref _ | Value.Set _ ->
+    raise (Unprintable "literal has no ZQL syntax")
+
+let zql_path p = String.concat "." (p.p_root :: p.p_steps)
+
+let zql_expr = function
+  | Path p -> zql_path p
+  | Lit v -> zql_literal v
+
+let rec zql_cond buf = function
+  | Cmp (op, a, b) ->
+    Buffer.add_string buf (zql_expr a);
+    Buffer.add_string buf (" " ^ cmp_name op ^ " ");
+    Buffer.add_string buf (zql_expr b)
+  | And (a, b) ->
+    zql_cond buf a;
+    Buffer.add_string buf " && ";
+    zql_cond buf b
+  | Exists q ->
+    Buffer.add_string buf "EXISTS (";
+    zql_query buf q;
+    Buffer.add_string buf ")"
+
+and zql_range buf r =
+  (match r.r_class with
+  | Some cls -> Buffer.add_string buf (cls ^ " " ^ r.r_var ^ " IN ")
+  | None -> Buffer.add_string buf (r.r_var ^ " IN "));
+  match r.r_src with
+  | Coll c -> Buffer.add_string buf c
+  | Set_path p -> Buffer.add_string buf (zql_path p)
+
+and zql_query buf q =
+  Buffer.add_string buf "SELECT ";
+  (match q.q_select with
+  | [] -> Buffer.add_string buf "*"
+  | items ->
+    List.iteri
+      (fun i si ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (zql_expr si.si_expr);
+        match si.si_as with
+        | Some n -> Buffer.add_string buf (" AS " ^ n)
+        | None -> ())
+      items);
+  Buffer.add_string buf " FROM ";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ", ";
+      zql_range buf r)
+    q.q_from;
+  (match q.q_where with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string buf " WHERE ";
+    zql_cond buf c);
+  (match q.q_order with
+  | None -> ()
+  | Some p -> Buffer.add_string buf (" ORDER BY " ^ zql_path p));
+  List.iter
+    (fun (op, rhs) ->
+      Buffer.add_string buf (" " ^ setop_name op ^ " ");
+      zql_query buf rhs)
+    q.q_setops
+
+let to_zql q =
+  let buf = Buffer.create 128 in
+  zql_query buf q;
+  Buffer.contents buf

@@ -49,15 +49,24 @@ and src =
 
 and select_item = { si_expr : expr; si_as : string option }
 
+and setop = Union | Intersect | Except
+(** [SELECT ... UNION SELECT ...] and friends, with ZQL's set (distinct)
+    semantics; branches must deliver identical scopes. *)
+
 and query = {
   q_select : select_item list;  (** empty list encodes [SELECT *] *)
   q_from : range list;
   q_where : cond option;
   q_order : path option;  (** [ORDER BY path] *)
+  q_setops : (setop * query) list;
+      (** trailing set-operation branches, applied left to right:
+          [q UNION q1 EXCEPT q2] is [((q ∪ q1) ∖ q2)] *)
 }
 
 val conjuncts : cond -> cond list
 (** Flatten nested [And]s (the result contains no [And]). *)
+
+val setop_name : setop -> string
 
 val pp_path : Format.formatter -> path -> unit
 
@@ -66,3 +75,14 @@ val pp_expr : Format.formatter -> expr -> unit
 val pp_cond : Format.formatter -> cond -> unit
 
 val pp_query : Format.formatter -> query -> unit
+
+exception Unprintable of string
+(** Raised by {!to_zql} on literals outside ZQL's concrete syntax
+    (negative numbers, references, sets, non-finite floats). *)
+
+val to_zql : query -> string
+(** Render as concrete ZQL text that {!Parser.parse} accepts. The
+    scenario factory emits every generated query this way, so the real
+    lexer/parser/simplifier sit on the fuzz path; its round-trip
+    property test pins [parse (to_zql q)] to simplify to the same
+    logical expression as [q]. *)

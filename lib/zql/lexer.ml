@@ -7,6 +7,9 @@ type token =
   | EXISTS
   | ORDER
   | BY
+  | UNION
+  | INTERSECT
+  | EXCEPT
   | NEWOBJECT
   | DATE
   | TRUE
@@ -39,6 +42,9 @@ let token_name = function
   | EXISTS -> "EXISTS"
   | ORDER -> "ORDER"
   | BY -> "BY"
+  | UNION -> "UNION"
+  | INTERSECT -> "INTERSECT"
+  | EXCEPT -> "EXCEPT"
   | NEWOBJECT -> "Newobject"
   | DATE -> "date"
   | TRUE -> "true"
@@ -72,6 +78,9 @@ let keyword s =
   | "exists" -> Some EXISTS
   | "order" -> Some ORDER
   | "by" -> Some BY
+  | "union" -> Some UNION
+  | "intersect" -> Some INTERSECT
+  | "except" -> Some EXCEPT
   | "newobject" -> Some NEWOBJECT
   | "date" -> Some DATE
   | "true" -> Some TRUE

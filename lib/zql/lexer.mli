@@ -9,6 +9,9 @@ type token =
   | EXISTS
   | ORDER
   | BY
+  | UNION
+  | INTERSECT
+  | EXCEPT
   | NEWOBJECT
   | DATE
   | TRUE

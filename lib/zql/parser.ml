@@ -97,6 +97,26 @@ let parse_cmp_op st =
   op
 
 let rec parse_query st =
+  let head = parse_core st in
+  let rec setops acc =
+    match peek st with
+    | Lexer.UNION | Lexer.INTERSECT | Lexer.EXCEPT ->
+      let op =
+        match peek st with
+        | Lexer.UNION -> Ast.Union
+        | Lexer.INTERSECT -> Ast.Intersect
+        | _ -> Ast.Except
+      in
+      advance st;
+      setops ((op, parse_core st) :: acc)
+    | _ -> List.rev acc
+  in
+  let q_setops = setops [] in
+  if peek st = Lexer.SEMI then advance st;
+  { head with Ast.q_setops }
+
+(* One SELECT block, without trailing set-operation branches. *)
+and parse_core st =
   expect st Lexer.SELECT;
   let q_select = parse_select st in
   expect st Lexer.FROM;
@@ -116,8 +136,7 @@ let rec parse_query st =
     end
     else None
   in
-  if peek st = Lexer.SEMI then advance st;
-  { Ast.q_select; q_from; q_where; q_order }
+  { Ast.q_select; q_from; q_where; q_order; q_setops = [] }
 
 and parse_select st =
   match peek st with

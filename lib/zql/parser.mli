@@ -4,8 +4,10 @@
     stage; disjunction is rejected at the lexer):
 
     {v
-    query  ::= SELECT select FROM range ("," range)*
-               [WHERE cond] [ORDER BY path] [";"]
+    query  ::= core (setop core)* [";"]
+    setop  ::= UNION | INTERSECT | EXCEPT      -- left-associative
+    core   ::= SELECT select FROM range ("," range)*
+               [WHERE cond] [ORDER BY path]
     select ::= "*" | Newobject "(" item ("," item)* ")" | item ("," item)*
     item   ::= expr [AS ident]
     range  ::= [ident] ident IN source      -- optional class annotation

@@ -176,6 +176,8 @@ and atoms_of_cond st cond =
          [ Pred.atom (cmp_of op) lo ro ]
        | Ast.And _ -> assert false (* flattened by conjuncts *)
        | Ast.Exists q ->
+         if q.Ast.q_setops <> [] then
+           error "set operations are not supported inside EXISTS";
          List.iter (fun r -> add_range st r ~first:false) q.Ast.q_from;
          (match q.Ast.q_where with
          | None -> []
@@ -186,8 +188,9 @@ type compiled = {
   c_order : (string * string option) option;
 }
 
-let query_ordered cat (q : Ast.query) =
-  match
+(* Compile one SELECT block (the set-operation branches of [q] are the
+   caller's concern). Raises [Simplify_error]. *)
+let compile_core cat (q : Ast.query) =
     let st =
       { cat;
         tree = Logical.get ~coll:"?" ~binding:"?" (* replaced by the first range *);
@@ -239,8 +242,36 @@ let query_ordered cat (q : Ast.query) =
             error_at at "ORDER BY %a: %s is not in the query result" Ast.pp_path p binding;
           Some (binding, Some last))
     in
-    match Logical.well_formed cat st.tree with
-    | Ok () -> { c_logical = st.tree; c_order = order }
+    (st.tree, order)
+
+let query_ordered cat (q : Ast.query) =
+  match
+    let tree, order = compile_core cat q in
+    let tree =
+      match q.Ast.q_setops with
+      | [] -> tree
+      | branches ->
+        if order <> None then error "ORDER BY cannot be combined with set operations";
+        let scope = Logical.scope tree in
+        List.fold_left
+          (fun acc (op, rhs) ->
+            if rhs.Ast.q_order <> None then
+              error "ORDER BY cannot be combined with set operations";
+            if rhs.Ast.q_setops <> [] then
+              error "nested set-operation branches are not supported";
+            let rhs_tree, _ = compile_core cat rhs in
+            if Logical.scope rhs_tree <> scope then
+              error "set-operation branches deliver different scopes (%s vs %s)"
+                (String.concat ", " scope)
+                (String.concat ", " (Logical.scope rhs_tree));
+            match op with
+            | Ast.Union -> Logical.union acc rhs_tree
+            | Ast.Intersect -> Logical.intersect acc rhs_tree
+            | Ast.Except -> Logical.difference acc rhs_tree)
+          tree branches
+    in
+    match Logical.well_formed cat tree with
+    | Ok () -> { c_logical = tree; c_order = order }
     | Error msg -> error "internal simplification bug: %s" msg
   with
   | compiled -> Ok compiled

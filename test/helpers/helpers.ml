@@ -64,109 +64,9 @@ let run_rows db plan = Executor.run db plan
 let total_cost (plan : Engine.plan) = Oodb_cost.Cost.total plan.Engine.cost
 
 (* ------------------------------------------------------------------ *)
-(* Fuzz: random well-formed expressions over the workload schema       *)
-
-(* Random queries are built as a root scan followed by a short random
-   walk over the schema's reference graph (Mat steps whose availability
-   depends on what is already in scope), at most one selection of 1-2
-   atoms on in-scope scalar fields, and an optional terminal projection.
-   Derived names all flow from the root binding name, so re-running the
-   generator with the same seed and a different root name yields an
-   alpha-renamed variant. The single-Select cap keeps the queries inside
-   the territory where the rule set's closure is known to terminate:
-   stacks of Selects make the split/merge transformations enumerate
-   conjunct partitions without bound (the paper only validated
-   termination on its own workload shapes).
-
-   Shared between the plan-cache fingerprint tests and the typed-algebra
-   property tests, so both exercise the same query population. *)
-module Fuzz = struct
-  module Prng = Oodb_util.Prng
-  module Logical = Oodb_algebra.Logical
-  module Pred = Oodb_algebra.Pred
-
-  let refs_of = function
-    | "Employee" -> [ ("dept", "Department"); ("job", "Job") ]
-    | "Department" -> [ ("plant", "Plant") ]
-    | "City" -> [ ("mayor", "Person"); ("country", "Country") ]
-    | "Country" -> [ ("president", "Person"); ("capital", "Capital") ]
-    | _ -> []
-
-  let scalars_of = function
-    | "Employee" -> [ ("name", `Str); ("age", `Int) ]
-    | "Department" -> [ ("name", `Str); ("floor", `Int) ]
-    | "Plant" -> [ ("name", `Str); ("location", `Str) ]
-    | "Job" -> [ ("name", `Str); ("level", `Int) ]
-    | "Person" -> [ ("name", `Str); ("age", `Int) ]
-    | "City" -> [ ("name", `Str); ("population", `Int) ]
-    | "Country" -> [ ("name", `Str) ]
-    | "Capital" -> [ ("name", `Str); ("population", `Int) ]
-    | "Task" -> [ ("name", `Str); ("time", `Int) ]
-    | _ -> []
-
-  let roots = [| ("Employees", "Employee"); ("Cities", "City"); ("Tasks", "Task");
-                 ("Countries", "Country"); ("Departments", "Department") |]
-
-  let str_pool = [| "Dallas"; "Joe"; "Fred"; "Austin" |]
-
-  let cmps = [| Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge |]
-
-  let gen_expr ~seed ~root_name =
-    let rng = Prng.create seed in
-    let coll, cls = Prng.pick rng roots in
-    let expr = ref (Logical.get ~coll ~binding:root_name) in
-    (* (binding, class) pairs whose fields are addressable *)
-    let scope = ref [ (root_name, cls) ] in
-    (* a Task's team members are references: unnest then materialize *)
-    if cls = "Task" && Prng.bool rng then begin
-      let m = root_name ^ "_m" and e = root_name ^ "_e" in
-      expr :=
-        !expr
-        |> Logical.unnest ~out:m ~src:root_name ~field:"team_members"
-        |> Logical.mat_ref ~out:e ~src:m;
-      scope := (e, "Employee") :: !scope
-    end;
-    let random_atom () =
-      let b, c = Prng.pick rng (Array.of_list !scope) in
-      let f, ty = Prng.pick rng (Array.of_list (scalars_of c)) in
-      let const =
-        match ty with
-        | `Int -> Pred.Const (Value.Int (Prng.int rng 200))
-        | `Str -> Pred.Const (Value.Str (Prng.pick rng str_pool))
-      in
-      Pred.atom (Prng.pick rng cmps) (Pred.Field (b, f)) const
-    in
-    let mat_step () =
-      let unused_refs =
-        List.concat_map
-          (fun (b, c) ->
-            List.filter_map
-              (fun (f, target) ->
-                let out = b ^ "." ^ f in
-                if List.mem_assoc out !scope then None else Some (b, f, out, target))
-              (refs_of c))
-          !scope
-      in
-      match unused_refs with
-      | [] -> ()
-      | refs ->
-        let b, f, out, target = Prng.pick rng (Array.of_list refs) in
-        expr := Logical.mat ~src:b ~field:f !expr;
-        scope := (out, target) :: !scope
-    in
-    for _ = 1 to Prng.int rng 4 do mat_step () done;
-    if Prng.bool rng then begin
-      let atoms = List.init (1 + Prng.int rng 2) (fun _ -> random_atom ()) in
-      expr := Logical.select atoms !expr
-    end;
-    for _ = 1 to Prng.int rng 2 do mat_step () done;
-    if Prng.int rng 3 = 0 then begin
-      let b, c = Prng.pick rng (Array.of_list !scope) in
-      let f, _ = Prng.pick rng (Array.of_list (scalars_of c)) in
-      expr :=
-        Logical.project [ { Logical.p_expr = Pred.Field (b, f); p_name = b ^ "." ^ f } ] !expr
-    end;
-    !expr
-
-  let n_fuzz = 200
-end
+(* Fuzz: random well-formed expressions over the workload schema.
+   The generator itself lives in the scenario library; re-exported here
+   so the plan-cache fingerprint tests, the typed-algebra property tests
+   and the vectorized-executor differential tests keep drawing from one
+   query population. *)
+module Fuzz = Oodb_scenario.Corpus

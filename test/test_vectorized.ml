@@ -83,88 +83,9 @@ let test_rule_configs_batch_invariant () =
     configs
 
 (* ------------------------------------------------------------------ *)
-(* Fuzz: seeded random queries (the plan cache's generator walk)        *)
-
-let refs_of = function
-  | "Employee" -> [ ("dept", "Department"); ("job", "Job") ]
-  | "Department" -> [ ("plant", "Plant") ]
-  | "City" -> [ ("mayor", "Person"); ("country", "Country") ]
-  | "Country" -> [ ("president", "Person"); ("capital", "Capital") ]
-  | _ -> []
-
-let scalars_of = function
-  | "Employee" -> [ ("name", `Str); ("age", `Int) ]
-  | "Department" -> [ ("name", `Str); ("floor", `Int) ]
-  | "Plant" -> [ ("name", `Str); ("location", `Str) ]
-  | "Job" -> [ ("name", `Str); ("level", `Int) ]
-  | "Person" -> [ ("name", `Str); ("age", `Int) ]
-  | "City" -> [ ("name", `Str); ("population", `Int) ]
-  | "Country" -> [ ("name", `Str) ]
-  | "Capital" -> [ ("name", `Str); ("population", `Int) ]
-  | "Task" -> [ ("name", `Str); ("time", `Int) ]
-  | _ -> []
-
-let roots = [| ("Employees", "Employee"); ("Cities", "City"); ("Tasks", "Task");
-               ("Countries", "Country"); ("Departments", "Department") |]
-
-let str_pool = [| "Dallas"; "Joe"; "Fred"; "Austin" |]
-
-let cmps = [| Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge |]
-
-let gen_expr ~seed ~root_name =
-  let rng = Prng.create seed in
-  let coll, cls = Prng.pick rng roots in
-  let expr = ref (Logical.get ~coll ~binding:root_name) in
-  let scope = ref [ (root_name, cls) ] in
-  if cls = "Task" && Prng.bool rng then begin
-    let m = root_name ^ "_m" and e = root_name ^ "_e" in
-    expr :=
-      !expr
-      |> Logical.unnest ~out:m ~src:root_name ~field:"team_members"
-      |> Logical.mat_ref ~out:e ~src:m;
-    scope := (e, "Employee") :: !scope
-  end;
-  let random_atom () =
-    let b, c = Prng.pick rng (Array.of_list !scope) in
-    let f, ty = Prng.pick rng (Array.of_list (scalars_of c)) in
-    let const =
-      match ty with
-      | `Int -> Pred.Const (Value.Int (Prng.int rng 200))
-      | `Str -> Pred.Const (Value.Str (Prng.pick rng str_pool))
-    in
-    Pred.atom (Prng.pick rng cmps) (Pred.Field (b, f)) const
-  in
-  let mat_step () =
-    let unused_refs =
-      List.concat_map
-        (fun (b, c) ->
-          List.filter_map
-            (fun (f, target) ->
-              let out = b ^ "." ^ f in
-              if List.mem_assoc out !scope then None else Some (b, f, out, target))
-            (refs_of c))
-        !scope
-    in
-    match unused_refs with
-    | [] -> ()
-    | refs ->
-      let b, f, out, target = Prng.pick rng (Array.of_list refs) in
-      expr := Logical.mat ~src:b ~field:f !expr;
-      scope := (out, target) :: !scope
-  in
-  for _ = 1 to Prng.int rng 4 do mat_step () done;
-  if Prng.bool rng then begin
-    let atoms = List.init (1 + Prng.int rng 2) (fun _ -> random_atom ()) in
-    expr := Logical.select atoms !expr
-  end;
-  for _ = 1 to Prng.int rng 2 do mat_step () done;
-  if Prng.int rng 3 = 0 then begin
-    let b, c = Prng.pick rng (Array.of_list !scope) in
-    let f, _ = Prng.pick rng (Array.of_list (scalars_of c)) in
-    expr :=
-      Logical.project [ { Logical.p_expr = Pred.Field (b, f); p_name = b ^ "." ^ f } ] !expr
-  end;
-  !expr
+(* Fuzz: seeded random queries (the shared Helpers.Fuzz population;
+   fewer seeds than the fingerprint tests because each one executes at
+   four batch sizes) *)
 
 let n_fuzz = 80
 
@@ -172,7 +93,7 @@ let test_fuzz_batch_invariance () =
   let db = Lazy.force Helpers.small_db in
   let cat = Db.catalog db in
   for seed = 1 to n_fuzz do
-    let q = gen_expr ~seed ~root_name:"x" in
+    let q = Helpers.Fuzz.gen_expr ~seed ~root_name:"x" in
     (match Logical.well_formed cat q with
     | Ok () -> ()
     | Error m -> Alcotest.failf "seed %d: ill-formed query: %s" seed m);

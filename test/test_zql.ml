@@ -104,6 +104,37 @@ let test_parse_roundtrip_pp () =
      printed forms, which elide them *)
   Alcotest.(check string) "pp . parse . pp = pp" printed (Format.asprintf "%a" Zql.Ast.pp_query q2)
 
+(* Property over the scenario generator's query population: printing a
+   generated AST with [to_zql] and parsing the text back simplifies to
+   the same logical expression as the AST itself. Parsed trees carry
+   real source locations while generated ones use [Loc.none], so the
+   comparison is after simplification, where locations are gone. *)
+let test_to_zql_roundtrip_generated () =
+  for index = 0 to 11 do
+    let sc = Oodb_scenario.Scenario.generate ~seed:7 ~index in
+    let gcat = Oodb_scenario.Scenario.base_catalog sc.Oodb_scenario.Scenario.sc_schema in
+    List.iter
+      (fun (qc : Oodb_scenario.Scenario.query_case) ->
+        let printed = Zql.Ast.to_zql qc.Oodb_scenario.Scenario.qc_ast in
+        match Zql.Parser.parse printed with
+        | Error e ->
+          Alcotest.failf "scenario %d %s: printed text does not parse: %s\n%s" index
+            qc.Oodb_scenario.Scenario.qc_name e printed
+        | Ok ast -> (
+          match
+            Zql.Simplify.query gcat ast,
+            Zql.Simplify.query gcat qc.Oodb_scenario.Scenario.qc_ast
+          with
+          | Ok parsed, Ok direct ->
+            if parsed <> direct then
+              Alcotest.failf "scenario %d %s: parse (to_zql q) simplifies differently\n%s"
+                index qc.Oodb_scenario.Scenario.qc_name printed
+          | Error e, _ | _, Error e ->
+            Alcotest.failf "scenario %d %s: does not simplify: %s\n%s" index
+              qc.Oodb_scenario.Scenario.qc_name e printed))
+      sc.Oodb_scenario.Scenario.sc_queries
+  done
+
 let test_located_errors () =
   let err s =
     match Zql.Simplify.compile cat s with
@@ -292,6 +323,8 @@ let () =
         [ Alcotest.test_case "paper figure 1" `Quick test_parse_figure1;
           Alcotest.test_case "EXISTS subquery" `Quick test_parse_exists;
           Alcotest.test_case "pp round trip" `Quick test_parse_roundtrip_pp;
+          Alcotest.test_case "to_zql round trip over generated queries" `Quick
+            test_to_zql_roundtrip_generated;
           Alcotest.test_case "syntax errors" `Quick test_parse_errors ] );
       ( "simplify",
         [ Alcotest.test_case "query 2 exact" `Quick test_simplify_q2_exact;
