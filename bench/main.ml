@@ -309,6 +309,83 @@ let ablation_guidance () =
         assert (Cost.total (Opt.cost seeded) <= Cost.total (Opt.cost unseeded) +. 1e-9))
     [ ("q1", Q.q1); ("q2", Q.q2); ("q3", Q.q3); ("q4", Q.q4) ]
 
+(* Wide-join search scaling ------------------------------------------- *)
+
+(* How optimization time and memo size grow with join width, under the
+   guided (promise-ordered, cost-bounded) search and under the
+   exhaustive default. One cold run per width: at these scales the
+   signal is orders of magnitude, not microseconds. The exhaustive side
+   is skipped beyond [exhaustive_max_width] — it measures ~16s at width
+   10 and grows ~15x per width — so the sweep stays inside a CI budget
+   while the guided side still covers the headline width. *)
+let scale_widths = [ 4; 6; 8; 10 ]
+
+let exhaustive_max_width = 8
+
+let search_scale_measurements () =
+  List.map
+    (fun width ->
+      let q = Q.join_chain width in
+      let time options =
+        Gc.full_major ();
+        let t0 = Unix.gettimeofday () in
+        let o = Opt.optimize ~options cat q in
+        (Unix.gettimeofday () -. t0, o)
+      in
+      let guided_s, o = time (Options.with_guided Options.default) in
+      let exhaustive_s =
+        if width <= exhaustive_max_width then fst (time Options.default) else Float.nan
+      in
+      let st = o.Opt.stats in
+      { History.s_width = width;
+        s_opt_seconds = guided_s;
+        s_exhaustive_seconds = exhaustive_s;
+        s_groups = st.Engine.groups;
+        s_mexprs = st.Engine.mexprs;
+        s_candidates = st.Engine.candidates;
+        s_pruned = st.Engine.pruned_candidates + st.Engine.pruned_subgoals })
+    scale_widths
+
+let pp_search_scale rows =
+  Format.printf "%6s %12s %12s %8s %8s %8s %8s@." "width" "guided [s]" "exhaust [s]"
+    "groups" "mexprs" "plans" "pruned";
+  List.iter
+    (fun (s : History.scale_rec) ->
+      Format.printf "%6d %12.3f %12s %8d %8d %8d %8d@." s.History.s_width
+        s.History.s_opt_seconds
+        (if Float.is_nan s.History.s_exhaustive_seconds then "-"
+         else Printf.sprintf "%.3f" s.History.s_exhaustive_seconds)
+        s.History.s_groups s.History.s_mexprs s.History.s_candidates s.History.s_pruned)
+    rows
+
+let search_scale () =
+  section "Wide-join scaling: guided search over n-way join chains";
+  let rows = search_scale_measurements () in
+  pp_search_scale rows;
+  rows
+
+(* Standalone CI smoke mode: run the sweep and fail if the widest chain
+   blew the time budget (OODB_SCALE_BUDGET seconds, default 120). *)
+let search_scale_gate () =
+  let budget =
+    match Sys.getenv_opt "OODB_SCALE_BUDGET" with
+    | Some s -> (try float_of_string s with _ -> 120.0)
+    | None -> 120.0
+  in
+  let rows = search_scale () in
+  let worst =
+    List.fold_left (fun m (s : History.scale_rec) -> Float.max m s.History.s_opt_seconds) 0.0
+      rows
+  in
+  if worst > budget then begin
+    Format.printf "FAIL: slowest guided width took %.1fs (budget %.1fs)@." worst budget;
+    1
+  end
+  else begin
+    Format.printf "ok: slowest guided width took %.1fs (budget %.1fs)@." worst budget;
+    0
+  end
+
 let ablation_warm_start () =
   section "Extension: Lesson-7 warm-start assembly (opt-in; beyond the paper)";
   Format.printf
@@ -605,7 +682,7 @@ let median xs =
    the optimizer changed, not the machine), and a deterministic
    cold+warm plan-cache sweep whose hit rate is exactly 0.5 when the
    cache works. *)
-let history_record ?(trials = 5) () =
+let history_record ?(trials = 5) ~scale () =
   let d = Lazy.force db in
   let dcat = Db.catalog d in
   let time f =
@@ -655,15 +732,16 @@ let history_record ?(trials = 5) () =
     r_date = iso_date ();
     r_batch_size = Config.default.Config.batch_size;
     r_cache_hit_rate = cache_hit_rate;
-    r_queries = queries }
+    r_queries = queries;
+    r_search_scale = scale }
 
 let history_path () =
   match Sys.getenv_opt "OODB_BENCH_HISTORY" with
   | Some p when p <> "" -> p
   | _ -> "BENCH_history.jsonl"
 
-let append_history () =
-  let r = history_record () in
+let append_history ~scale () =
+  let r = history_record ~scale () in
   let path = history_path () in
   History.append path r;
   Format.printf "appended %s record %s (%s) to %s@."
@@ -741,7 +819,7 @@ let bechamel_benchmarks () =
    per-query observability records (search trace aggregates, plan costs,
    measured I/O, per-operator profiles) from lib/obs. The [--json] flag
    emits only this file, for CI. *)
-let json_results path =
+let json_results ~scale path =
   let t2_configs =
     [ ("all-rules", Options.default);
       ("wo-mat-to-join", Options.disable "mat-to-join" Options.default);
@@ -804,6 +882,7 @@ let json_results path =
         ("plan_cache", plan_cache);
         ("vectorized", vectorized);
         ("feedback_loop", feedback_loop);
+        ("search_scale", Json.List (List.map History.scale_json scale));
         ("workload", Report.workload_json ~registry reports) ]
   in
   let oc = open_out path in
@@ -813,13 +892,15 @@ let json_results path =
   Format.printf "wrote %s@." path
 
 let () =
+  if Array.exists (fun a -> a = "--search-scale") Sys.argv then exit (search_scale_gate ());
   if Array.exists (fun a -> a = "--history") Sys.argv then begin
-    append_history ();
+    append_history ~scale:(search_scale_measurements ()) ();
     exit 0
   end;
   if Array.exists (fun a -> a = "--json") Sys.argv then begin
-    json_results "BENCH_results.json";
-    append_history ();
+    let scale = search_scale () in
+    json_results ~scale "BENCH_results.json";
+    append_history ~scale ();
     exit 0
   end;
   Format.printf "Open OODB query optimizer: reproduction of the SIGMOD'93 evaluation@.";
@@ -837,10 +918,11 @@ let () =
   ablation_guidance ();
   ablation_warm_start ();
   ablation_merge_join ();
+  let scale = search_scale () in
   vectorized_execution ();
   repeated_workload ();
   feedback_loop ();
   bechamel_benchmarks ();
-  json_results "BENCH_results.json";
-  append_history ();
+  json_results ~scale "BENCH_results.json";
+  append_history ~scale ();
   Format.printf "@.done.@."

@@ -960,14 +960,21 @@ let emit_json out json =
     close_out oc;
     Format.eprintf "wrote %s@." path
 
-let gen_run seed n zql_out out =
+let join_width_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "join-width" ] ~docv:"W"
+        ~doc:"Append a $(docv)-way chain-join query (name [wide]) to every scenario's query \
+              set — the wide-join scaling knob for the guided-search differentials.")
+
+let gen_run seed n join_width zql_out out =
   (match zql_out with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
   let failed = ref 0 in
   let reports =
     List.init n (fun index ->
-        let sc = Scenario.generate ~seed ~index in
+        let sc = Scenario.generate ?join_width ~seed ~index () in
         (match zql_out with
         | None -> ()
         | Some dir ->
@@ -1014,14 +1021,14 @@ let gen_cmd =
           winner is statically verified, and all row multisets must agree. Failures are \
           shrunk to minimal ZQL counterexamples. The JSON report is deterministic: same \
           seed, same bytes.")
-    Term.(const gen_run $ seed_arg $ scenarios_arg $ zql_out_arg $ out_arg)
+    Term.(const gen_run $ seed_arg $ scenarios_arg $ join_width_arg $ zql_out_arg $ out_arg)
 
 let effectiveness_run seed n sample out =
   let mismatches = ref 0 in
   let reports =
     List.init n (fun index ->
         let t0 = Sys.time () in
-        let sc = Scenario.generate ~seed ~index in
+        let sc = Scenario.generate ~seed ~index () in
         let r = Effectiveness.run ~sample sc in
         List.iter
           (fun (s : Effectiveness.score) ->

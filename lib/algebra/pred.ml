@@ -74,6 +74,14 @@ let compare = List.compare compare_atom
 
 let equal a b = compare a b = 0
 
+(* Canonical conjunct order (sorted, duplicates removed). Rules that
+   recombine predicates — pushing selections into joins, redistributing
+   atoms across an associativity rewrite — must emit normalized lists:
+   the memo interns operators structurally, so the same atom set in two
+   list orders would otherwise populate a group with spuriously distinct
+   multi-expressions (measured 7x memo blowup on 8-way join chains). *)
+let normalize t = List.sort_uniq compare_atom t
+
 let pp_operand ppf = function
   | Const v -> Value.pp ppf v
   | Field (b, f) -> Format.fprintf ppf "%s.%s" b f

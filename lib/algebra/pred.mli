@@ -54,6 +54,14 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val normalize : t -> t
+(** Canonical conjunct order: sorted by {!compare_atom} with duplicates
+    removed. Transformation rules that recombine predicate lists must
+    emit normalized lists so the memo does not intern the same atom set
+    under several list orders. *)
+
+val compare_atom : atom -> atom -> int
+
 val pp_operand : Format.formatter -> operand -> unit
 
 val pp_atom : Format.formatter -> atom -> unit

@@ -26,8 +26,15 @@ let order_unless_introduced required outs =
 (* ------------------------------------------------------------------ *)
 (* Get => File Scan                                                     *)
 
+(* Promise values order rule application under guided search: rules that
+   cheaply complete a plan (leaf scans, pointer chases) run first so the
+   branch-and-bound limit tightens before the expensive alternatives
+   (sort-hungry merge joins) are even costed. Only the relative order
+   among rules matching the same operator matters. *)
+
 let file_scan cfg cat =
   { Engine.i_name = "file-scan";
+    i_promise = 100;
     i_apply =
       (fun _ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -109,6 +116,7 @@ let residual_on_root root atoms =
 
 let collapse_index_scan cfg cat =
   { Engine.i_name = "collapse-index-scan";
+    i_promise = 90;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -181,6 +189,7 @@ let collapse_index_scan cfg cat =
 
 let filter cfg cat =
   { Engine.i_name = "filter";
+    i_promise = 50;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -203,6 +212,7 @@ let filter cfg cat =
 
 let hash_join cfg cat =
   { Engine.i_name = "hash-join";
+    i_promise = 60;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -267,6 +277,7 @@ let order_of_operand = function
 
 let merge_join cfg cat =
   { Engine.i_name = "merge-join";
+    i_promise = 40;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -331,6 +342,7 @@ let merge_join cfg cat =
 
 let pointer_join cfg cat =
   { Engine.i_name = "pointer-join";
+    i_promise = 70;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -464,6 +476,7 @@ let assembly_candidate cfg cat ctx ~required ~window ~input_group paths =
    collection fits the buffer pool. *)
 let warm_assembly cfg cat =
   { Engine.i_name = "warm-assembly";
+    i_promise = 55;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -504,6 +517,7 @@ let warm_assembly cfg cat =
 
 let mat_assembly cfg cat =
   { Engine.i_name = "mat-assembly";
+    i_promise = 50;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -542,6 +556,7 @@ let mat_assembly cfg cat =
 
 let alg_project cfg cat =
   { Engine.i_name = "alg-project";
+    i_promise = 50;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -571,6 +586,7 @@ let alg_project cfg cat =
 
 let alg_unnest cfg cat =
   { Engine.i_name = "alg-unnest";
+    i_promise = 50;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with
@@ -593,6 +609,7 @@ let alg_unnest cfg cat =
 
 let hash_setop cfg cat =
   { Engine.i_name = "hash-setop";
+    i_promise = 50;
     i_apply =
       (fun ctx ~required m ->
         match m.Engine.mop, m.Engine.minputs with

@@ -2,6 +2,7 @@ type t = {
   config : Oodb_cost.Config.t;
   disabled : string list;
   pruning : bool;
+  guided : bool;
   normalize : bool;
   verify : bool;
   cache : bool;
@@ -12,10 +13,15 @@ let default =
   { config = Oodb_cost.Config.default;
     disabled = [ "warm-assembly" ];
     pruning = true;
+    guided = false;
     normalize = true;
     verify = true;
     cache = true;
     feedback_qerror_limit = 16.0 }
+
+let with_guided t = { t with guided = true }
+
+let without_guided t = { t with guided = false }
 
 let without_cache t = { t with cache = false }
 

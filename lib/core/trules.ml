@@ -142,7 +142,9 @@ let select_push_join =
                        if ra = [] then Engine.Ref gr
                        else Engine.Node (Logical.Select ra, [ Engine.Ref gr ])
                      in
-                     Some (Engine.Node (Logical.Join (jp @ cross), [ left; right ]))
+                     Some
+                       (Engine.Node
+                          (Logical.Join (Pred.normalize (jp @ cross)), [ left; right ]))
                  | _ -> None)
         | _ -> []) }
 
@@ -173,6 +175,7 @@ let join_assoc =
                  | Logical.Join p2, [ ga; gb ] ->
                    let inner_scope = scope_of ctx gb @ scope_of ctx gr in
                    let inner, outer = split_by_scope (p1 @ p2) inner_scope in
+                   let inner = Pred.normalize inner and outer = Pred.normalize outer in
                    Some
                      (Engine.Node
                         ( Logical.Join outer,

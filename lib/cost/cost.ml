@@ -12,11 +12,18 @@ let add a b = { io = a.io +. b.io; cpu = a.cpu +. b.cpu }
 
 let sub a b = { io = a.io -. b.io; cpu = a.cpu -. b.cpu }
 
+let slack = { io = 1e-9; cpu = 0.0 }
+
 let sum = List.fold_left add zero
 
 let total t = t.io +. t.cpu
 
-let compare a b = Float.compare (total a) (total b)
+let compare a b =
+  let c = Float.compare (total a) (total b) in
+  if c <> 0 then c
+  else
+    let c = Float.compare a.io b.io in
+    if c <> 0 then c else Float.compare a.cpu b.cpu
 
 let ( <= ) a b = compare a b <= 0
 

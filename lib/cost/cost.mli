@@ -20,12 +20,31 @@ val add : t -> t -> t
 val sub : t -> t -> t
 (** Componentwise difference; used for branch-and-bound limit budgets. *)
 
+val slack : t
+(** One nanosecond ({!total}); the tolerance the search engine adds to
+    a branch-and-bound limit before discarding a candidate or subgoal.
+    Limits propagate through {!sub}, whose componentwise rounding
+    drifts from the exact algebraic value by ulps ([1e-17]-ish at
+    second-scale costs); a discard exactly at the boundary would then
+    drop plans the exhaustive enumeration keeps, breaking the
+    guided-equals-exhaustive winner-cost contract. [1e-9] is ~8 orders
+    of magnitude above the drift and far below any modelled cost
+    difference between genuinely distinct plans. *)
+
 val sum : t list -> t
 
 val total : t -> float
 
 val compare : t -> t -> int
-(** By total seconds. *)
+(** By total seconds; exact ties broken by the io component, then cpu
+    (the rounded sum [io +. cpu] does not determine the components).
+    Equal-total plans with different io/cpu splits
+    are genuine ties for the cost model, but the search keeps whichever
+    it meets first — and a parent plan folds the chosen child's io and
+    cpu into its own sums, so two tied children perturb the parent's
+    total at the ulp level. The tie-break makes the winner independent
+    of enumeration order, which the guided-equals-exhaustive
+    winner-cost contract relies on. *)
 
 val ( <= ) : t -> t -> bool
 

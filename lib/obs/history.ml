@@ -1,6 +1,6 @@
 module Json = Oodb_util.Json
 
-let schema_version = 2
+let schema_version = 3
 
 type query_rec = {
   q_name : string;
@@ -14,12 +14,23 @@ type query_rec = {
   q_mean_qerror : float;  (* nan when not recorded (schema v1 baselines) *)
 }
 
+type scale_rec = {
+  s_width : int;
+  s_opt_seconds : float;  (* guided search, one cold run *)
+  s_exhaustive_seconds : float;  (* nan when skipped as over budget *)
+  s_groups : int;
+  s_mexprs : int;
+  s_candidates : int;
+  s_pruned : int;
+}
+
 type record = {
   r_git_sha : string;
   r_date : string;
   r_batch_size : int;
   r_cache_hit_rate : float;
   r_queries : query_rec list;
+  r_search_scale : scale_rec list;  (* [] on v1/v2 records *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -38,6 +49,17 @@ let query_json q =
       (* Json.float encodes the nan of an unprofiled run as null *)
       ("mean_qerror", Json.float q.q_mean_qerror) ]
 
+let scale_json s =
+  Json.Obj
+    [ ("width", Json.Int s.s_width);
+      ("opt_seconds", Json.float s.s_opt_seconds);
+      (* Json.float encodes the nan of an over-budget width as null *)
+      ("exhaustive_seconds", Json.float s.s_exhaustive_seconds);
+      ("memo_groups", Json.Int s.s_groups);
+      ("memo_mexprs", Json.Int s.s_mexprs);
+      ("plans", Json.Int s.s_candidates);
+      ("pruned", Json.Int s.s_pruned) ]
+
 let to_json r =
   Json.Obj
     [ ("schema_version", Json.Int schema_version);
@@ -45,7 +67,8 @@ let to_json r =
       ("date", Json.String r.r_date);
       ("batch_size", Json.Int r.r_batch_size);
       ("cache_hit_rate", Json.float r.r_cache_hit_rate);
-      ("queries", Json.List (List.map query_json r.r_queries)) ]
+      ("queries", Json.List (List.map query_json r.r_queries));
+      ("search_scale", Json.List (List.map scale_json r.r_search_scale)) ]
 
 let ( let* ) = Result.bind
 
@@ -77,6 +100,21 @@ let query_of_json j =
   Ok { q_name; q_opt_min; q_opt_median; q_exec_min; q_exec_median; q_rows;
        q_groups; q_rules_fired; q_mean_qerror }
 
+let scale_of_json j =
+  let* s_width = field "width" Json.to_int j in
+  let* s_opt_seconds = field "opt_seconds" Json.to_float j in
+  let s_exhaustive_seconds =
+    match Json.member "exhaustive_seconds" j with
+    | Some v -> Option.value (Json.to_float v) ~default:Float.nan
+    | None -> Float.nan
+  in
+  let* s_groups = field "memo_groups" Json.to_int j in
+  let* s_mexprs = field "memo_mexprs" Json.to_int j in
+  let* s_candidates = field "plans" Json.to_int j in
+  let* s_pruned = field "pruned" Json.to_int j in
+  Ok { s_width; s_opt_seconds; s_exhaustive_seconds; s_groups; s_mexprs;
+       s_candidates; s_pruned }
+
 let rec all_ok = function
   | [] -> Ok []
   | Error e :: _ -> Error e
@@ -97,8 +135,19 @@ let of_json j =
     let* r_cache_hit_rate = field "cache_hit_rate" Json.to_float j in
     let* queries = field "queries" Json.to_list j in
     let* r_queries = all_ok (List.map query_of_json queries) in
+    (* Absent on v1/v2 records: an existing history file keeps serving
+       as a baseline across the schema bump, with no scale deltas. *)
+    let* r_search_scale =
+      match Json.member "search_scale" j with
+      | None -> Ok []
+      | Some v -> (
+        match Json.to_list v with
+        | None -> Error "field \"search_scale\" has the wrong type"
+        | Some l -> all_ok (List.map scale_of_json l))
+    in
     if r_queries = [] then Error "empty \"queries\""
-    else Ok { r_git_sha; r_date; r_batch_size; r_cache_hit_rate; r_queries }
+    else
+      Ok { r_git_sha; r_date; r_batch_size; r_cache_hit_rate; r_queries; r_search_scale }
 
 let of_line line =
   let* j = Json.of_string line in
@@ -201,6 +250,20 @@ let compare_records ?(threshold = default_threshold)
              [ delta_with ~floor:qerror_floor nq.q_name "mean_qerror"
                  oq.q_mean_qerror nq.q_mean_qerror ]))
       new_rec.r_queries
+  in
+  let deltas =
+    deltas
+    @ List.concat_map
+        (fun (ns : scale_rec) ->
+          match
+            List.find_opt (fun os -> os.s_width = ns.s_width) old_rec.r_search_scale
+          with
+          | None -> []
+          | Some os ->
+            [ delta
+                (Printf.sprintf "chain%d" ns.s_width)
+                "guided_opt_seconds" os.s_opt_seconds ns.s_opt_seconds ])
+        new_rec.r_search_scale
   in
   let names r = List.map (fun q -> q.q_name) r.r_queries in
   let missing =

@@ -16,9 +16,10 @@
 module Json = Oodb_util.Json
 
 val schema_version : int
-(** Currently 2 (v2 added [mean_qerror]). {!of_json} accepts any version
-    from 1 up to the current one — older records simply read the fields
-    they predate as absent — and rejects records from the future. *)
+(** Currently 3 (v2 added [mean_qerror]; v3 added [search_scale]).
+    {!of_json} accepts any version from 1 up to the current one — older
+    records simply read the fields they predate as absent — and rejects
+    records from the future. *)
 
 type query_rec = {
   q_name : string;
@@ -35,17 +36,36 @@ type query_rec = {
           and excluded from comparison when either side lacks it *)
 }
 
+type scale_rec = {
+  s_width : int;  (** join-chain width (number of joined collections) *)
+  s_opt_seconds : float;  (** one cold guided-search optimization *)
+  s_exhaustive_seconds : float;
+      (** one cold exhaustive optimization; [nan] (encoded [null]) when
+          the width was over the exhaustive budget and skipped *)
+  s_groups : int;
+  s_mexprs : int;
+  s_candidates : int;  (** physical plans costed (the paper's "plans") *)
+  s_pruned : int;  (** candidates + subgoals refused by bound propagation *)
+}
+(** One row of the wide-join scaling sweep: how optimization time and
+    memo size grow with join width under the guided search. *)
+
 type record = {
   r_git_sha : string;
   r_date : string;  (** ISO 8601 *)
   r_batch_size : int;
   r_cache_hit_rate : float;  (** served / lookups over the run's cache phase *)
   r_queries : query_rec list;
+  r_search_scale : scale_rec list;  (** [[]] on v1/v2 records *)
 }
 
 (** {1 Serialization} *)
 
 val to_json : record -> Json.t
+
+val scale_json : scale_rec -> Json.t
+(** One [search_scale] row, as embedded in {!to_json} — also reusable by
+    benchmark artifacts that carry the sweep outside a history record. *)
 
 val of_json : Json.t -> (record, string) result
 (** Validates the schema version, every field's presence and type, and
@@ -102,7 +122,8 @@ val compare_records :
     regresses iff [new > old * (1 + threshold)] and
     [new - old > min_seconds]. When both records carry a [mean_qerror],
     it is diffed too, with {!qerror_floor} as the absolute floor in
-    place of [min_seconds]. *)
+    place of [min_seconds]. [search_scale] rows are matched by width
+    (reported as [chainN]) and diff the guided optimization time. *)
 
 val regressed : comparison -> bool
 

@@ -166,6 +166,45 @@ let rich_query rng spec =
     q_order = None;
     q_setops = [] }
 
+(* A [width]-way chain join: every added range is linked to the newest
+   in-scope range by one reference-equality atom, zigzagging between
+   outgoing and incoming references as the schema allows (classes may
+   repeat — self-join chains are the point). The join-order search space
+   then grows with [width] alone, which makes this the scaling knob for
+   the wide-join benchmarks and the guided-search differential tests.
+   Generated schemas always give the anchor class at least one outgoing
+   reference, and any edge once used offers its reverse, so the chain
+   always reaches the full width. *)
+let join_chain_query ~width rng spec =
+  let r0 = { ri_var = var 0; ri_cls = G.anchor_cls spec } in
+  let ranges = ref [ r0 ] in
+  let atoms = ref [] in
+  let rec grow last =
+    if List.length !ranges < width then
+      match join_cands spec [ last ] with
+      | [] -> ()
+      | cands ->
+        let i = List.length !ranges in
+        let nri, atom =
+          match Prng.pick rng (Array.of_list cands) with
+          | `Out (ri, rf, target) ->
+            let nri = { ri_var = var i; ri_cls = G.find_cls spec target } in
+            (nri, join_atom ri rf nri)
+          | `In (ri, rf, c) ->
+            let nri = { ri_var = var i; ri_cls = c } in
+            (nri, join_atom nri rf ri)
+        in
+        ranges := !ranges @ [ nri ];
+        atoms := atom :: !atoms;
+        grow nri
+  in
+  grow r0;
+  { Ast.q_select = [];
+    q_from = List.map range !ranges;
+    q_where = conj (List.rev !atoms);
+    q_order = None;
+    q_setops = [] }
+
 (* Set-operation branches must deliver identical scopes: identical FROM
    list, SELECT *, shared join atoms — only the depth-1 scalar
    predicates differ between branches. *)
@@ -310,7 +349,7 @@ let random_query rng spec =
 
 let n_random = 3
 
-let generate rng cat spec =
+let generate ?join_width rng cat spec =
   (* Every emitted query must simplify: the catalog is the authority on
      what a well-formed query is, so check here and retry rather than
      ship a generator bug to every downstream harness. Retries draw from
@@ -327,8 +366,16 @@ let generate rng cat spec =
     in
     (name, go 8)
   in
-  checked "lookup" (fun () -> lookup_query rng spec)
-  :: checked "rich" (fun () -> rich_query rng spec)
-  :: checked "setop" (fun () -> setop_query rng spec)
-  :: List.init n_random (fun i ->
-         checked (Printf.sprintf "rand%d" i) (fun () -> random_query rng spec))
+  let fixed =
+    checked "lookup" (fun () -> lookup_query rng spec)
+    :: checked "rich" (fun () -> rich_query rng spec)
+    :: checked "setop" (fun () -> setop_query rng spec)
+    :: List.init n_random (fun i ->
+           checked (Printf.sprintf "rand%d" i) (fun () -> random_query rng spec))
+  in
+  (* The wide chain is appended, never interleaved, so the default query
+     set for a given (seed, index) is bit-identical with the knob off. *)
+  match join_width with
+  | Some width when width >= 2 ->
+    fixed @ [ checked "wide" (fun () -> join_chain_query ~width rng spec) ]
+  | _ -> fixed

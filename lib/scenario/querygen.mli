@@ -18,14 +18,27 @@ val setop_query : Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
 
 val random_query : Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
 
+val join_chain_query : width:int -> Oodb_util.Prng.t -> Schemagen.t -> Zql.Ast.query
+(** A [width]-way chain of reference-equality joins rooted at the anchor
+    class, zigzagging between outgoing and incoming references (classes
+    may repeat). The join-order search space grows with [width] alone —
+    the scaling knob for wide-join benchmarks and guided-search tests. *)
+
 val n_random : int
 
 val generate :
-  Oodb_util.Prng.t -> Oodb_catalog.Catalog.t -> Schemagen.t -> (string * Zql.Ast.query) list
+  ?join_width:int ->
+  Oodb_util.Prng.t ->
+  Oodb_catalog.Catalog.t ->
+  Schemagen.t ->
+  (string * Zql.Ast.query) list
 (** The per-scenario query set, each validated against the catalog by
     running the real simplifier (rejected draws are retried from the
     same stream, so output is still a pure function of the generator
-    state).
+    state). [join_width] (>= 2) appends one extra [wide] query built by
+    {!join_chain_query}; it is appended after the fixed mix, so the
+    default set for a given generator state is unchanged when the knob
+    is off.
 
     @raise Failure if a query shape repeatedly fails to simplify —
     a generator bug, not an input condition. *)

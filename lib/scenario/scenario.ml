@@ -40,14 +40,14 @@ let base_catalog spec =
     spec.G.g_classes;
   cat
 
-let generate ~seed ~index =
+let generate ?join_width ~seed ~index () =
   let rng = rng_for ~seed ~index in
   let schema = G.generate rng in
   let cat = base_catalog schema in
   let queries =
     List.map
       (fun (name, ast) -> { qc_name = name; qc_ast = ast; qc_zql = Ast.to_zql ast })
-      (Querygen.generate rng cat schema)
+      (Querygen.generate ?join_width rng cat schema)
   in
   { sc_seed = seed; sc_index = index; sc_schema = schema; sc_queries = queries }
 

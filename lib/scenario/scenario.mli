@@ -23,7 +23,10 @@ type t = {
   sc_queries : query_case list;
 }
 
-val generate : seed:int -> index:int -> t
+val generate : ?join_width:int -> seed:int -> index:int -> unit -> t
+(** [join_width] (>= 2) appends a [wide] chain-join query to the fixed
+    mix (see {!Querygen.generate}); with the knob off the scenario is
+    bit-identical to what earlier versions generated. *)
 
 val base_catalog : Schemagen.t -> Oodb_catalog.Catalog.t
 (** Catalog with the spec's collections but no measured statistics or

@@ -1,6 +1,7 @@
 module Pretty = Oodb_util.Pretty
 module Span = Oodb_util.Span
 module Json = Oodb_util.Json
+module Vec = Oodb_util.Vec
 
 module type MODEL = sig
   module Op : sig
@@ -56,12 +57,48 @@ module type MODEL = sig
 
     val sub : t -> t -> t
 
+    val slack : t
+
     val compare : t -> t -> int
 
     val infinite : t
 
     val pp : Format.formatter -> t -> unit
   end
+end
+
+(* Kind-tagged packed ids: the table index in the high bits, a 2-bit kind
+   tag in the low bits. Group ids stay plain table indexes in the public
+   API (they predate this module and leak into traces, memo dumps and
+   tests); multi-expressions and physical-memo entries, which are new as
+   first-class table rows, carry tagged ids so a heterogeneous worklist
+   or journal can tell them apart without context. *)
+module Id = struct
+  type kind = Group | Mexpr | Phys
+
+  let bits = 2
+
+  let max_idx = (1 lsl (Sys.int_size - 1 - bits)) - 1
+
+  let tag = function Group -> 0 | Mexpr -> 1 | Phys -> 2
+
+  let make k idx =
+    if idx < 0 || idx > max_idx then invalid_arg "Volcano.Id.make: index overflow";
+    (idx lsl bits) lor tag k
+
+  let to_idx id = id lsr bits
+
+  let kind_of id =
+    match id land ((1 lsl bits) - 1) with
+    | 0 -> Group
+    | 1 -> Mexpr
+    | 2 -> Phys
+    | _ -> invalid_arg "Volcano.Id.kind_of: unknown tag"
+
+  let pp ppf id =
+    Format.fprintf ppf "%s%d"
+      (match kind_of id with Group -> "g" | Mexpr -> "m" | Phys -> "p")
+      (to_idx id)
 end
 
 module Make (M : MODEL) = struct
@@ -88,24 +125,99 @@ module Make (M : MODEL) = struct
     | Irule_tried of { rule : string; group : group }
     | Candidate_costed of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
     | Pruned of { group : group; alg : M.Alg.t; cost : M.Cost.t; limit : M.Cost.t }
+    | Subgoal_pruned of { group : group; required : M.Pprop.t }
     | Enforcer_tried of { rule : string; group : group }
     | Enforcer_offered of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
     | Enforcer_inserted of { group : group; alg : M.Alg.t }
     | Phys_memo_hit of { group : group; required : M.Pprop.t }
 
+  (* ------------------------------------------------------------------ *)
+  (* The exact structural intern key                                      *)
+
+  (* op(inputs) with the operator interned to a small id and the input
+     groups canonical: the common case (arity <= 2, ids within field
+     width) packs into one immediate int — operator id in the high 24
+     bits, each input group + 1 in a 19-bit field (0 = absent input) —
+     and anything wider falls back to the boxed exact form. Either way
+     equality is exact: the previous design's weak (op hash, inputs) key,
+     whose collisions had to be resolved by scanning candidate groups'
+     expression lists, is gone. *)
+  type key = Packed of int | Wide of int * int list
+
+  let input_bits = 19
+
+  let max_packed_input = (1 lsl input_bits) - 2 (* +1 offset must still fit *)
+
+  let max_packed_op = (1 lsl (Sys.int_size - 1 - (2 * input_bits))) - 1
+
+  let make_key op_id (inputs : int array) =
+    let n = Array.length inputs in
+    if n <= 2 && op_id <= max_packed_op
+       && (n < 1 || inputs.(0) <= max_packed_input)
+       && (n < 2 || inputs.(1) <= max_packed_input)
+    then
+      let in0 = if n >= 1 then inputs.(0) + 1 else 0 in
+      let in1 = if n >= 2 then inputs.(1) + 1 else 0 in
+      Packed ((op_id lsl (2 * input_bits)) lor (in0 lsl input_bits) lor in1)
+    else Wide (op_id, Array.to_list inputs)
+
+  module Key_tbl = Hashtbl.Make (struct
+    type t = key
+
+    let equal a b =
+      match a, b with
+      | Packed x, Packed y -> Int.equal x y
+      | Wide (o1, l1), Wide (o2, l2) -> Int.equal o1 o2 && List.equal Int.equal l1 l2
+      | Packed _, Wide _ | Wide _, Packed _ -> false
+
+    let hash = function
+      | Packed x -> (x * 0x61c88647) land max_int
+      | Wide _ as w -> Hashtbl.hash w
+  end)
+
+  module Op_tbl = Hashtbl.Make (M.Op)
+
+  module Pprop_tbl = Hashtbl.Make (M.Pprop)
+
   type group_data = {
     gid : int;
-    mutable gexprs : mexpr list; (* reverse insertion order, canonical inputs *)
+    mutable gexprs : int list; (* mexpr ids, reverse insertion order *)
     mutable glprop : M.Lprop.t;
     mutable gtyp : M.Typ.t option;
         (* inferred type, set by the first interned mexpr when a typing
            hook is installed; every later mexpr and merge must agree *)
+    mutable gusers : int list;
+        (* mexpr ids that take this group as an input — the congruence
+           repair worklist after a merge; may hold dead or duplicate ids
+           (repair is idempotent), never misses a live user *)
+    mutable gstamp : int;
+        (* bumped whenever the group's visible expression set changes:
+           an mexpr added, killed, or re-canonicalized *)
+    mutable gcache_stamp : int; (* gstamp the cache was computed at; -1 = none *)
+    mutable gcache : mexpr list;
+        (* rules (join-associativity above all) rescan the same groups
+           once per sibling multi-expression; materializing the public
+           view once per change turns the closure's dominant cost from
+           per-scan allocation into a plain list walk *)
+  }
+
+  type mexpr_data = {
+    mx_id : int; (* Id.make Mexpr index *)
+    mx_op : int; (* interned operator id *)
+    mutable mx_inputs : int array; (* canonical as of the last repair *)
+    mutable mx_group : int; (* owning group (canonicalize via find) *)
+    mutable mx_key : key;
+    mutable mx_alive : bool;
+        (* cleared when a merge made the expression self-referential or a
+           structural duplicate of another live one *)
   }
 
   type mutable_stats = {
     mutable s_trule_fired : int;
     mutable s_trule_tried : int;
     mutable s_candidates : int;
+    mutable s_pruned_candidates : int;
+    mutable s_pruned_subgoals : int;
     mutable s_enforcer_uses : int;
     mutable s_phys_memo_hits : int;
     mutable s_closure_steps : int;
@@ -115,10 +227,16 @@ module Make (M : MODEL) = struct
   type rule_counter = { mutable rc_tried : int; mutable rc_fired : int }
 
   type ctx = {
-    mutable parents : int array; (* union-find over group ids *)
-    mutable groups : group_data option array; (* indexed by gid *)
-    mutable n_groups : int;
-    mexpr_index : (int * int list, group) Hashtbl.t; (* (op hash, inputs) is a weak key; resolved by scan *)
+    parents : int Vec.t; (* union-find over group indexes *)
+    groups : group_data Vec.t;
+    mexprs : mexpr_data Vec.t;
+    ops : M.Op.t Vec.t;
+    op_index : int Op_tbl.t; (* operator -> interned id; exact M.Op.equal *)
+    mexpr_index : int Key_tbl.t; (* exact structural key -> mexpr id *)
+    pprop_index : int Pprop_tbl.t; (* physical-property interning *)
+    mutable pprops : int; (* count of interned properties *)
+    pending_unions : (int * int) Queue.t;
+    mutable in_union : bool;
     ms : mutable_stats;
     rule_tbl : (string, rule_counter) Hashtbl.t;
     mutable generation : int;
@@ -152,60 +270,48 @@ module Make (M : MODEL) = struct
   (* Union-find over groups                                              *)
 
   let rec find ctx g =
-    let p = ctx.parents.(g) in
+    let p = Vec.get ctx.parents g in
     if p = g then g
     else begin
       let root = find ctx p in
-      ctx.parents.(g) <- root;
+      Vec.set ctx.parents g root;
       root
     end
 
   let group_data ctx g =
-    match ctx.groups.(find ctx g) with
-    | Some gd -> gd
-    | None -> invalid_arg "Volcano: unknown group"
+    if g < 0 || g >= Vec.length ctx.groups then invalid_arg "Volcano: unknown group";
+    Vec.get ctx.groups (find ctx g)
 
-  let canon_mexpr ctx m = { m with minputs = List.map (find ctx) m.minputs }
+  let mexpr_data ctx mid = Vec.get ctx.mexprs (Id.to_idx mid)
 
-  let mexpr_equal ctx a b =
-    M.Op.equal a.mop b.mop
-    && List.length a.minputs = List.length b.minputs
-    && List.for_all2 (fun x y -> find ctx x = find ctx y) a.minputs b.minputs
+  let canon_inputs ctx inputs = Array.map (find ctx) inputs
+
+  let self_ref_inputs g (inputs : int array) =
+    let n = Array.length inputs in
+    let rec go i = i < n && (inputs.(i) = g || go (i + 1)) in
+    go 0
 
   (* ------------------------------------------------------------------ *)
   (* Memo construction                                                   *)
 
-  let ensure_capacity ctx =
-    let n = Array.length ctx.parents in
-    if ctx.n_groups >= n then begin
-      let parents = Array.init (2 * n) (fun i -> if i < n then ctx.parents.(i) else i) in
-      let groups = Array.init (2 * n) (fun i -> if i < n then ctx.groups.(i) else None) in
-      ctx.parents <- parents;
-      ctx.groups <- groups
-    end
+  let intern_op ctx op =
+    match Op_tbl.find_opt ctx.op_index op with
+    | Some id -> id
+    | None ->
+      let id = Vec.push ctx.ops op in
+      Op_tbl.add ctx.op_index op id;
+      id
 
   let new_group ctx lprop =
-    ensure_capacity ctx;
-    let gid = ctx.n_groups in
-    ctx.n_groups <- gid + 1;
-    ctx.parents.(gid) <- gid;
-    ctx.groups.(gid) <- Some { gid; gexprs = []; glprop = lprop; gtyp = None };
+    let gid = Vec.length ctx.groups in
+    let _ = Vec.push ctx.parents gid in
+    let gd =
+      { gid; gexprs = []; glprop = lprop; gtyp = None; gusers = []; gstamp = 0;
+        gcache_stamp = -1; gcache = [] }
+    in
+    let _ = Vec.push ctx.groups gd in
     (match ctx.tracer with None -> () | Some f -> f (Group_created { group = gid }));
     gid
-
-  let index_key ctx m =
-    let m = canon_mexpr ctx m in
-    (M.Op.hash m.mop, m.minputs)
-
-  let lookup_mexpr ctx m =
-    match Hashtbl.find_all ctx.mexpr_index (index_key ctx m) with
-    | [] -> None
-    | gs ->
-      (* Hash collisions on Op.hash are possible; verify by scanning the
-         candidate groups for a structurally equal expression. *)
-      List.find_opt
-        (fun g -> List.exists (fun m' -> mexpr_equal ctx m m') (group_data ctx g).gexprs)
-        (List.map (find ctx) gs)
 
   let group_lprop ctx g = (group_data ctx g).glprop
 
@@ -214,55 +320,35 @@ module Make (M : MODEL) = struct
   (* Canonical (union-find root) group ids, in creation order. *)
   let groups ctx =
     let acc = ref [] in
-    for g = ctx.n_groups - 1 downto 0 do
+    for g = Vec.length ctx.groups - 1 downto 0 do
       if find ctx g = g then acc := g :: !acc
     done;
     !acc
 
+  (* Live multi-expressions of a group, oldest first. Congruence repair
+     keeps inputs canonical and kills self-referential or duplicate forms
+     eagerly, so this is a filter over dead ids, not a scan-and-rebuild;
+     the result is cached until the group's [gstamp] moves. *)
   let group_exprs ctx g =
-    (* unions elsewhere in the memo can retroactively make an expression
-       self-referential; never surface those *)
-    (group_data ctx g).gexprs
-    |> List.filter_map (fun m ->
-           let m = canon_mexpr ctx m in
-           if List.exists (fun g' -> g' = find ctx g) m.minputs then None else Some m)
-    |> List.rev
-
-  (* A multi-expression whose inputs include its own group asserts
-     G = op(..G..); it can never contribute a finite plan and (worse)
-     lets rules like select-merge diverge, so such forms are dropped. *)
-  let self_referential ctx g m = List.exists (fun g' -> find ctx g' = find ctx g) m.minputs
-
-  (* Merge two groups discovered to be logically equivalent. *)
-  let union ctx g1 g2 =
-    let g1 = find ctx g1 and g2 = find ctx g2 in
-    if g1 <> g2 then begin
-      let winner, loser = if g1 < g2 then g1, g2 else g2, g1 in
-      ctx.generation <- ctx.generation + 1;
-      (match ctx.tracer with None -> () | Some f -> f (Groups_merged { winner; loser }));
-      let wd = group_data ctx winner and ld = group_data ctx loser in
-      (match wd.gtyp, ld.gtyp with
-      | Some a, Some b when not (M.Typ.equal a b) ->
-        raise
-          (Type_violation
-             (Format.asprintf
-                "merge of groups %d and %d with incompatible types: %a vs %a" winner loser
-                M.Typ.pp a M.Typ.pp b))
-      | None, (Some _ as t) -> wd.gtyp <- t
-      | _ -> ());
-      ctx.parents.(loser) <- winner;
-      wd.gexprs <- List.filter (fun m -> not (self_referential ctx winner m)) wd.gexprs;
-      List.iter
-        (fun m ->
-          if
-            (not (self_referential ctx winner m))
-            && not (List.exists (fun m' -> mexpr_equal ctx m m') wd.gexprs)
-          then begin
-            wd.gexprs <- m :: wd.gexprs;
-            Hashtbl.add ctx.mexpr_index (index_key ctx m) winner
-          end)
-        (List.rev ld.gexprs);
-      ld.gexprs <- []
+    let root = find ctx g in
+    let gd = Vec.get ctx.groups root in
+    if gd.gcache_stamp = gd.gstamp then gd.gcache
+    else begin
+      let exprs =
+        gd.gexprs
+        |> List.filter_map (fun mid ->
+               let mx = mexpr_data ctx mid in
+               if not mx.mx_alive then None
+               else
+                 let inputs = canon_inputs ctx mx.mx_inputs in
+                 if self_ref_inputs root inputs then None
+                 else
+                   Some { mop = Vec.get ctx.ops mx.mx_op; minputs = Array.to_list inputs })
+        |> List.rev
+      in
+      gd.gcache_stamp <- gd.gstamp;
+      gd.gcache <- exprs;
+      exprs
     end
 
   (* Memo-wide type invariant: derive the type of [m] from its input
@@ -270,7 +356,7 @@ module Make (M : MODEL) = struct
      [Type_violation] on any failure. Inputs always carry a type when a
      hook is installed — a group is created together with its first
      mexpr, which sets it. *)
-  let typecheck_mexpr ctx gd m =
+  let typecheck_mexpr ctx gd (m : mexpr) =
     match ctx.typing with
     | None -> ()
     | Some derive -> (
@@ -297,29 +383,170 @@ module Make (M : MODEL) = struct
                  (Format.asprintf "group %d has type %a but %a derives %a" gd.gid
                     M.Typ.pp gty M.Op.pp m.mop M.Typ.pp ty))))
 
-  (* Add [m] to group [g]; returns the worklist entries to process and
-     whether the expression was new anywhere in the memo. *)
-  let add_mexpr ctx g m =
-    let g = find ctx g in
-    let m = canon_mexpr ctx m in
-    if self_referential ctx g m then None
-    else
-    match lookup_mexpr ctx m with
-    | Some g' when g' = g -> None
-    | Some g' ->
-      union ctx g g';
-      None
-    | None ->
-      let gd = group_data ctx g in
-      if List.exists (fun m' -> mexpr_equal ctx m m') gd.gexprs then None
+  let unbind_key ctx mx =
+    match Key_tbl.find_opt ctx.mexpr_index mx.mx_key with
+    | Some mid when mid = mx.mx_id -> Key_tbl.remove ctx.mexpr_index mx.mx_key
+    | Some _ | None -> ()
+
+  let add_user ctx g mid =
+    let gd = group_data ctx g in
+    gd.gusers <- mid :: gd.gusers
+
+  let register_users ctx (inputs : int array) mid =
+    (* duplicate registrations (a group twice among the inputs) are fine:
+       repair is idempotent, and deduping here would cost a scan *)
+    let seen_prev i =
+      let rec go j = j < i && (inputs.(j) = inputs.(i) || go (j + 1)) in
+      go 0
+    in
+    Array.iteri (fun i g -> if not (seen_prev i) then add_user ctx g mid) inputs
+
+  (* Merge two groups discovered to be logically equivalent, then repair
+     the intern table: every expression that used the absorbed group is
+     re-canonicalized and re-interned, so keys never go stale and two
+     groups holding the same (post-merge) expression are themselves
+     merged — the cascade runs off [pending_unions] to a fixpoint. *)
+  let rec union ctx g1 g2 =
+    Queue.add (g1, g2) ctx.pending_unions;
+    if not ctx.in_union then begin
+      ctx.in_union <- true;
+      Fun.protect
+        ~finally:(fun () -> ctx.in_union <- false)
+        (fun () ->
+          while not (Queue.is_empty ctx.pending_unions) do
+            let a, b = Queue.pop ctx.pending_unions in
+            do_union ctx a b
+          done)
+    end
+
+  and do_union ctx g1 g2 =
+    let g1 = find ctx g1 and g2 = find ctx g2 in
+    if g1 <> g2 then begin
+      let winner, loser = if g1 < g2 then g1, g2 else g2, g1 in
+      ctx.generation <- ctx.generation + 1;
+      (match ctx.tracer with None -> () | Some f -> f (Groups_merged { winner; loser }));
+      let wd = Vec.get ctx.groups winner and ld = Vec.get ctx.groups loser in
+      (match wd.gtyp, ld.gtyp with
+      | Some a, Some b when not (M.Typ.equal a b) ->
+        raise
+          (Type_violation
+             (Format.asprintf
+                "merge of groups %d and %d with incompatible types: %a vs %a" winner loser
+                M.Typ.pp a M.Typ.pp b))
+      | None, (Some _ as t) -> wd.gtyp <- t
+      | _ -> ());
+      Vec.set ctx.parents loser winner;
+      (* re-home the absorbed group's expressions *)
+      let moved = List.rev ld.gexprs in
+      ld.gexprs <- [];
+      List.iter (fun mid -> rehome ctx winner mid) moved;
+      (* congruence repair: users of the absorbed group re-canonicalize;
+         their ids migrate to the winner's user list (their repaired
+         inputs now name the winner) *)
+      let users = ld.gusers in
+      ld.gusers <- [];
+      wd.gusers <- List.rev_append users wd.gusers;
+      List.iter (fun mid -> repair ctx mid) users
+    end
+
+  (* An expression of a just-absorbed group: move it into [winner],
+     deduplicating against the intern table. *)
+  and rehome ctx winner mid =
+    let mx = mexpr_data ctx mid in
+    if mx.mx_alive then begin
+      unbind_key ctx mx;
+      let inputs = canon_inputs ctx mx.mx_inputs in
+      mx.mx_inputs <- inputs;
+      mx.mx_group <- winner;
+      if self_ref_inputs winner inputs then mx.mx_alive <- false
       else begin
+        let k = make_key mx.mx_op inputs in
+        mx.mx_key <- k;
+        match Key_tbl.find_opt ctx.mexpr_index k with
+        | Some other_id when other_id <> mid ->
+          mx.mx_alive <- false;
+          let og = find ctx (mexpr_data ctx other_id).mx_group in
+          if og <> winner then union ctx winner og
+        | Some _ | None ->
+          Key_tbl.replace ctx.mexpr_index k mid;
+          let wd = Vec.get ctx.groups winner in
+          wd.gexprs <- mid :: wd.gexprs;
+          wd.gstamp <- wd.gstamp + 1
+      end
+    end
+
+  (* An expression (in any group) whose inputs mentioned a just-absorbed
+     group: re-canonicalize and re-intern it under its exact key. A key
+     collision here means two groups hold the same expression — the
+     missed-merge case the old hashtable design silently accumulated —
+     and queues their union. *)
+  and repair ctx mid =
+    let mx = mexpr_data ctx mid in
+    if mx.mx_alive then begin
+      let home = find ctx mx.mx_group in
+      let hd = Vec.get ctx.groups home in
+      hd.gstamp <- hd.gstamp + 1;
+      unbind_key ctx mx;
+      let inputs = canon_inputs ctx mx.mx_inputs in
+      mx.mx_inputs <- inputs;
+      if self_ref_inputs home inputs then mx.mx_alive <- false
+      else begin
+        let k = make_key mx.mx_op inputs in
+        mx.mx_key <- k;
+        match Key_tbl.find_opt ctx.mexpr_index k with
+        | Some other_id when other_id <> mid ->
+          mx.mx_alive <- false;
+          let og = find ctx (mexpr_data ctx other_id).mx_group in
+          if og <> home then union ctx home og
+        | Some _ | None -> Key_tbl.replace ctx.mexpr_index k mid
+      end
+    end
+
+  (* Add [m] to group [g]; returns the worklist entry to process and
+     whether the expression was new anywhere in the memo. *)
+  let add_mexpr ctx g (m : mexpr) =
+    let g = find ctx g in
+    let op_id = intern_op ctx m.mop in
+    let inputs = canon_inputs ctx (Array.of_list m.minputs) in
+    if self_ref_inputs g inputs then None
+    else
+      let k = make_key op_id inputs in
+      match Key_tbl.find_opt ctx.mexpr_index k with
+      | Some mid ->
+        let g' = find ctx (mexpr_data ctx mid).mx_group in
+        if g' = g then None
+        else begin
+          union ctx g g';
+          None
+        end
+      | None ->
+        let gd = Vec.get ctx.groups g in
+        let m = { m with minputs = Array.to_list inputs } in
         typecheck_mexpr ctx gd m;
-        gd.gexprs <- m :: gd.gexprs;
-        Hashtbl.add ctx.mexpr_index (index_key ctx m) g;
+        let idx = Vec.length ctx.mexprs in
+        let mid = Id.make Id.Mexpr idx in
+        let mx =
+          { mx_id = mid; mx_op = op_id; mx_inputs = inputs; mx_group = g; mx_key = k;
+            mx_alive = true }
+        in
+        let _ = Vec.push ctx.mexprs mx in
+        gd.gexprs <- mid :: gd.gexprs;
+        gd.gstamp <- gd.gstamp + 1;
+        Key_tbl.replace ctx.mexpr_index k mid;
+        register_users ctx inputs mid;
         ctx.generation <- ctx.generation + 1;
         (match ctx.tracer with None -> () | Some f -> f (Mexpr_added { group = g; op = m.mop }));
         Some (g, m)
-      end
+
+  (* Exact lookup without insertion (intern_build's fast path). *)
+  let lookup_mexpr ctx (m : mexpr) =
+    match Op_tbl.find_opt ctx.op_index m.mop with
+    | None -> None
+    | Some op_id -> (
+      let inputs = canon_inputs ctx (Array.of_list m.minputs) in
+      match Key_tbl.find_opt ctx.mexpr_index (make_key op_id inputs) with
+      | Some mid -> Some (find ctx (mexpr_data ctx mid).mx_group)
+      | None -> None)
 
   (* ------------------------------------------------------------------ *)
   (* Rules and specification                                             *)
@@ -338,6 +565,7 @@ module Make (M : MODEL) = struct
 
   type irule = {
     i_name : string;
+    i_promise : int;
     i_apply : ctx -> required:M.Pprop.t -> mexpr -> candidate list;
   }
 
@@ -366,6 +594,8 @@ module Make (M : MODEL) = struct
     trule_fired : int;
     trule_tried : int;
     candidates : int;
+    pruned_candidates : int;
+    pruned_subgoals : int;
     enforcer_uses : int;
     phys_memo_hits : int;
     closure_steps : int;
@@ -470,20 +700,39 @@ module Make (M : MODEL) = struct
 
   let cost_le a b = M.Cost.compare a b <= 0
 
-  module Phys_key = struct
-    type t = int * M.Pprop.t
+  (* Bound checks that *discard* work (prune a candidate, skip a
+     subgoal, refuse to return a memoized plan) tolerate [Cost.slack]
+     over the limit: limits are propagated through [Cost.sub], whose
+     rounding drifts from the exact algebraic value by ulps, and an
+     exact check at the boundary would make the bounded search drop
+     plans the exhaustive enumeration keeps. Anything surviving the
+     slackened bound still faces the exact [compare] in [consider]. *)
+  let bounded_le a limit = M.Cost.compare a (M.Cost.add limit M.Cost.slack) <= 0
 
-    let equal (g1, p1) (g2, p2) = g1 = g2 && M.Pprop.equal p1 p2
+  (* The physical memo key packs (group index, interned required-property
+     id) into one int: the group in the high bits, the property id in the
+     low 16. Properties are interned through [M.Pprop.equal]/[hash], so
+     the packed key is exact; the id space is per session and overflow
+     fails loudly rather than silently degrading. *)
+  let pprop_bits = 16
 
-    let hash (g, p) = (g * 0x61c88647) lxor M.Pprop.hash p
-  end
+  let intern_pprop ctx p =
+    match Pprop_tbl.find_opt ctx.pprop_index p with
+    | Some id -> id
+    | None ->
+      let id = ctx.pprops in
+      if id >= 1 lsl pprop_bits then
+        invalid_arg "Volcano: physical-property intern table overflow";
+      ctx.pprops <- id + 1;
+      Pprop_tbl.add ctx.pprop_index p id;
+      id
 
-  module Phys_tbl = Hashtbl.Make (Phys_key)
+  let phys_key ctx g p = Id.make Id.Phys ((g lsl pprop_bits) lor intern_pprop ctx p)
 
-  let optimize_physical ctx ~memo ~enabled_irules ~enabled_enforcers ~pruning ~initial_limit
-      ~root ~required =
-    let find_entry g p = Phys_tbl.find_opt memo (g, p) in
-    let add_entry g p e = Phys_tbl.add memo (g, p) e in
+  let optimize_physical ctx ~memo ~enabled_irules ~enabled_enforcers ~pruning ~guided
+      ~initial_limit ~root ~required =
+    let find_entry g p = Hashtbl.find_opt memo (phys_key ctx g p) in
+    let add_entry g p e = Hashtbl.add memo (phys_key ctx g p) e in
     let rec optimize g required limit =
       let g = find ctx g in
       let entry =
@@ -518,7 +767,7 @@ module Make (M : MODEL) = struct
           | None -> ()
           | Some f -> f (Phys_memo_hit { group = g; required }));
           match entry.best with
-          | Some p when cost_le p.cost limit -> Some p
+          | Some p when bounded_le p.cost limit -> Some p
           | Some _ | None -> None
         end
         else
@@ -530,7 +779,7 @@ module Make (M : MODEL) = struct
             | None -> ()
             | Some f -> f (Phys_memo_hit { group = g; required }));
             (match entry.best with
-            | Some p when cost_le p.cost limit -> Some p
+            | Some p when bounded_le p.cost limit -> Some p
             | Some _ | None -> None)
           | _ ->
             entry.in_progress <- true;
@@ -547,29 +796,52 @@ module Make (M : MODEL) = struct
               | Some b when cost_le b.cost plan.cost -> ()
               | _ -> best := Some plan
             in
+            (* Guided mode may skip a subgoal outright when the budget
+               left after the candidate's own cost is already negative:
+               any child plan has non-negative cost, so the candidate is
+               provably dominated and the subgoal is never expanded. The
+               exhaustive mode reaches the same conclusion by recursing
+               into the subgoal and failing — same winner, more work. *)
+            let subgoal_dominated remaining =
+              guided && pruning && M.Cost.compare (M.Cost.add remaining M.Cost.slack) M.Cost.zero < 0
+            in
+            let prune_subgoal child cprops =
+              ctx.ms.s_pruned_subgoals <- ctx.ms.s_pruned_subgoals + 1;
+              match ctx.tracer with
+              | None -> ()
+              | Some f -> f (Subgoal_pruned { group = find ctx child; required = cprops })
+            in
             let try_candidate cand =
               ctx.ms.s_candidates <- ctx.ms.s_candidates + 1;
               if M.Pprop.satisfies ~delivered:cand.cand_delivers ~required then begin
                 let limit0 = current_limit () in
-                (match ctx.tracer with
-                | None -> ()
-                | Some f ->
-                  if not (cost_le cand.cand_cost limit0) then
+                if not (bounded_le cand.cand_cost limit0) then begin
+                  ctx.ms.s_pruned_candidates <- ctx.ms.s_pruned_candidates + 1;
+                  match ctx.tracer with
+                  | None -> ()
+                  | Some f ->
                     f
                       (Pruned
                          { group = g;
                            alg = cand.cand_alg;
                            cost = cand.cand_cost;
-                           limit = limit0 }));
-                if cost_le cand.cand_cost limit0 then begin
+                           limit = limit0 })
+                end
+                else begin
                   let rec opt_children acc_cost acc_plans = function
                     | [] -> Some (List.rev acc_plans, acc_cost)
                     | (child, cprops) :: rest -> (
                       let remaining = M.Cost.sub (current_limit ()) acc_cost in
-                      match optimize child cprops remaining with
-                      | None -> None
-                      | Some cplan ->
-                        opt_children (M.Cost.add acc_cost cplan.cost) (cplan :: acc_plans) rest)
+                      if subgoal_dominated remaining then begin
+                        prune_subgoal child cprops;
+                        None
+                      end
+                      else
+                        match optimize child cprops remaining with
+                        | None -> None
+                        | Some cplan ->
+                          opt_children (M.Cost.add acc_cost cplan.cost) (cplan :: acc_plans)
+                            rest)
                   in
                   match opt_children cand.cand_cost [] cand.cand_inputs with
                   | None -> ()
@@ -582,6 +854,11 @@ module Make (M : MODEL) = struct
                 end
               end
             in
+            (* Candidates are produced rule by rule (promise order, when
+               guided); guided search then costs them cheapest-local-cost
+               first, so the branch-and-bound limit tightens before the
+               expensive alternatives are considered. *)
+            let deferred = ref [] in
             List.iter
               (fun m ->
                 List.iter
@@ -604,10 +881,15 @@ module Make (M : MODEL) = struct
                                  group = g;
                                  alg = cand.cand_alg;
                                  cost = cand.cand_cost }));
-                        try_candidate cand)
+                        if guided then deferred := cand :: !deferred
+                        else try_candidate cand)
                       cands)
                   enabled_irules)
               (group_exprs ctx g);
+            if guided then
+              List.stable_sort (fun a b -> M.Cost.compare a.cand_cost b.cand_cost)
+                (List.rev !deferred)
+              |> List.iter try_candidate;
             (* Enforcers: achieve [required] by gluing a property-enforcing
                algorithm on top of a plan for weaker requirements. *)
             List.iter
@@ -626,18 +908,20 @@ module Make (M : MODEL) = struct
                     | Some f ->
                       f (Enforcer_offered { rule = en.e_name; group = g; alg; cost = ecost }));
                     let remaining = M.Cost.sub (current_limit ()) ecost in
-                    match optimize g weaker remaining with
-                    | None -> ()
-                    | Some sub ->
-                      ctx.ms.s_enforcer_uses <- ctx.ms.s_enforcer_uses + 1;
-                      (match ctx.tracer with
+                    if subgoal_dominated remaining then prune_subgoal g weaker
+                    else
+                      match optimize g weaker remaining with
                       | None -> ()
-                      | Some f -> f (Enforcer_inserted { group = g; alg }));
-                      consider
-                        { alg;
-                          children = [ sub ];
-                          cost = M.Cost.add ecost sub.cost;
-                          delivered = required })
+                      | Some sub ->
+                        ctx.ms.s_enforcer_uses <- ctx.ms.s_enforcer_uses + 1;
+                        (match ctx.tracer with
+                        | None -> ()
+                        | Some f -> f (Enforcer_inserted { group = g; alg }));
+                        consider
+                          { alg;
+                            children = [ sub ];
+                            cost = M.Cost.add ecost sub.cost;
+                            delivered = required })
                   offers)
               enabled_enforcers;
             entry.best <- !best;
@@ -648,7 +932,7 @@ module Make (M : MODEL) = struct
                 | _ -> limit);
             entry.in_progress <- false;
             (match !best with
-            | Some p when cost_le p.cost limit -> Some p
+            | Some p when bounded_le p.cost limit -> Some p
             | Some _ | None -> None)
     in
     optimize root required initial_limit
@@ -656,19 +940,15 @@ module Make (M : MODEL) = struct
   (* ------------------------------------------------------------------ *)
   (* Entry point                                                         *)
 
-  let count_mexprs ctx =
+  let count_groups (ctx : ctx) =
     let n = ref 0 in
-    for g = 0 to ctx.n_groups - 1 do
-      if find ctx g = g then n := !n + List.length (group_data ctx g).gexprs
-    done;
-    !n
-
-  let count_groups ctx =
-    let n = ref 0 in
-    for g = 0 to ctx.n_groups - 1 do
+    for g = 0 to Vec.length ctx.groups - 1 do
       if find ctx g = g then incr n
     done;
     !n
+
+  let count_mexprs ctx =
+    List.fold_left (fun n g -> n + List.length (group_exprs ctx g)) 0 (groups ctx)
 
   (* A session owns one memo (logical groups plus the physical
      (group, properties) table) shared across any number of roots: the
@@ -684,24 +964,33 @@ module Make (M : MODEL) = struct
     ss_irules : irule list;
     ss_enforcers : enforcer list;
     ss_pruning : bool;
+    ss_guided : bool;
     ss_closure_fuel : int option; (* budget over the whole session's closure steps *)
     ss_spans : Span.t option; (* search-phase spans; None is the nil-sink fast path *)
     ss_ctx : ctx;
-    ss_phys : entry Phys_tbl.t;
+    ss_phys : (int, entry) Hashtbl.t; (* packed (group, pprop id) -> entry *)
   }
 
-  let session ?(disabled = []) ?(pruning = true) ?closure_fuel ?trace ?spans ?typing spec
-      =
+  let session ?(disabled = []) ?(pruning = true) ?(guided = false) ?closure_fuel ?trace
+      ?spans ?typing spec =
     let enabled name = not (List.mem name disabled) in
     let ctx =
-      { parents = Array.init 64 (fun i -> i);
-        groups = Array.make 64 None;
-        n_groups = 0;
-        mexpr_index = Hashtbl.create 256;
+      { parents = Vec.create ~capacity:64 ();
+        groups = Vec.create ~capacity:64 ();
+        mexprs = Vec.create ~capacity:256 ();
+        ops = Vec.create ~capacity:64 ();
+        op_index = Op_tbl.create 256;
+        mexpr_index = Key_tbl.create 256;
+        pprop_index = Pprop_tbl.create 16;
+        pprops = 0;
+        pending_unions = Queue.create ();
+        in_union = false;
         ms =
           { s_trule_fired = 0;
             s_trule_tried = 0;
             s_candidates = 0;
+            s_pruned_candidates = 0;
+            s_pruned_subgoals = 0;
             s_enforcer_uses = 0;
             s_phys_memo_hits = 0;
             s_closure_steps = 0;
@@ -711,15 +1000,23 @@ module Make (M : MODEL) = struct
         tracer = trace;
         typing }
     in
+    let irules = List.filter (fun r -> enabled r.i_name) spec.implementations in
     { ss_spec = spec;
       ss_trules = List.filter (fun r -> enabled r.t_name) spec.transformations;
-      ss_irules = List.filter (fun r -> enabled r.i_name) spec.implementations;
+      ss_irules =
+        (* guided search applies rules in promise order (highest first, ties
+           keep registration order), so cheap/high-yield algorithms tighten
+           the branch-and-bound limit before expensive ones are costed *)
+        (if guided then
+           List.stable_sort (fun a b -> Int.compare b.i_promise a.i_promise) irules
+         else irules);
       ss_enforcers = List.filter (fun r -> enabled r.e_name) spec.enforcers;
       ss_pruning = pruning;
+      ss_guided = guided;
       ss_closure_fuel = closure_fuel;
       ss_spans = spans;
       ss_ctx = ctx;
-      ss_phys = Phys_tbl.create 256 }
+      ss_phys = Hashtbl.create 256 }
 
   let session_ctx s = s.ss_ctx
 
@@ -742,6 +1039,8 @@ module Make (M : MODEL) = struct
       trule_fired = ctx.ms.s_trule_fired;
       trule_tried = ctx.ms.s_trule_tried;
       candidates = ctx.ms.s_candidates;
+      pruned_candidates = ctx.ms.s_pruned_candidates;
+      pruned_subgoals = ctx.ms.s_pruned_subgoals;
       enforcer_uses = ctx.ms.s_enforcer_uses;
       phys_memo_hits = ctx.ms.s_phys_memo_hits;
       closure_steps = ctx.ms.s_closure_steps;
@@ -754,14 +1053,14 @@ module Make (M : MODEL) = struct
         ~args:[ ("root_group", Json.Int (find ctx root)) ]
         (fun () ->
           optimize_physical ctx ~memo:s.ss_phys ~enabled_irules:s.ss_irules
-            ~enabled_enforcers:s.ss_enforcers ~pruning:s.ss_pruning ~initial_limit
-            ~root:(find ctx root) ~required)
+            ~enabled_enforcers:s.ss_enforcers ~pruning:s.ss_pruning ~guided:s.ss_guided
+            ~initial_limit ~root:(find ctx root) ~required)
     in
     { plan; stats = snapshot_stats ctx; root = find ctx root; ctx }
 
-  let run ?disabled ?pruning ?(initial_limit = M.Cost.infinite) ?closure_fuel ?trace ?spans
-      ?typing spec expr ~required =
-    let s = session ?disabled ?pruning ?closure_fuel ?trace ?spans ?typing spec in
+  let run ?disabled ?pruning ?guided ?(initial_limit = M.Cost.infinite) ?closure_fuel
+      ?trace ?spans ?typing spec expr ~required =
+    let s = session ?disabled ?pruning ?guided ?closure_fuel ?trace ?spans ?typing spec in
     let root = register s expr in
     solve s ~initial_limit root ~required
 
@@ -770,16 +1069,16 @@ module Make (M : MODEL) = struct
 
   let pp_plan ppf plan = Format.pp_print_string ppf (Pretty.render (plan_to_tree plan))
 
-  let pp_memo ppf ctx =
-    for g = 0 to ctx.n_groups - 1 do
+  let pp_memo ppf (ctx : ctx) =
+    for g = 0 to Vec.length ctx.groups - 1 do
       if find ctx g = g then begin
-        let gd = group_data ctx g in
+        let gd = Vec.get ctx.groups g in
         Format.fprintf ppf "group %d: %a@." g M.Lprop.pp gd.glprop;
         List.iter
           (fun m ->
             Format.fprintf ppf "  %a [%s]@." M.Op.pp m.mop
-              (String.concat " " (List.map string_of_int (List.map (find ctx) m.minputs))))
-          (List.rev gd.gexprs)
+              (String.concat " " (List.map string_of_int m.minputs)))
+          (group_exprs ctx g)
       end
     done
 end

@@ -17,6 +17,26 @@
     bottom-up optimizers that keep all subplans with a priori
     "interesting" properties. *)
 
+(** Kind-tagged packed ids: a table index in the high bits, a 2-bit kind
+    tag (group / multi-expression / physical-memo entry) in the low bits.
+    The memo stores its rows in flat growable tables indexed by these
+    ids; packing lets heterogeneous worklists, journals and trace sinks
+    carry one immediate [int] instead of a boxed variant. Public group
+    ids remain plain table indexes (kind tag stripped) for backward
+    compatibility. *)
+module Id : sig
+  type kind = Group | Mexpr | Phys
+
+  val make : kind -> int -> int
+  (** @raise Invalid_argument when the index overflows the tag field. *)
+
+  val to_idx : int -> int
+
+  val kind_of : int -> kind
+
+  val pp : Format.formatter -> int -> unit
+end
+
 (** Data-model types and their basic operations. *)
 module type MODEL = sig
   module Op : sig
@@ -80,6 +100,19 @@ module type MODEL = sig
     val sub : t -> t -> t
     (** Used only for branch-and-bound limit arithmetic. *)
 
+    val slack : t
+    (** Tolerance for branch-and-bound {e discard} decisions: a
+        candidate, subgoal or memoized plan is refused only when it
+        exceeds the limit by more than [slack]; anything at the boundary
+        survives to the exact [compare] that picks the winner. Limits
+        are propagated with [sub], whose componentwise rounding can
+        drift from the exact algebraic value by a few ulps — without
+        slack that drift makes the bounded search discard plans the
+        exhaustive enumeration keeps (observed as one-ulp winner-cost
+        differences). Pick [slack] far above the rounding drift and far
+        below any real cost difference; [zero] is sound for optimality
+        up to [slack] but loses exact-winner parity. *)
+
     val compare : t -> t -> int
 
     val infinite : t
@@ -132,6 +165,11 @@ module Make (M : MODEL) : sig
     | Pruned of { group : group; alg : M.Alg.t; cost : M.Cost.t; limit : M.Cost.t }
         (** branch-and-bound: the candidate's local cost already exceeds
             the current limit, so its inputs are never optimized *)
+    | Subgoal_pruned of { group : group; required : M.Pprop.t }
+        (** guided search: the budget left for this input subgoal was
+            already negative, so the subgoal was never expanded (the
+            exhaustive search would have recursed and failed — same
+            winner, more work) *)
     | Enforcer_tried of { rule : string; group : group }
     | Enforcer_offered of { rule : string; group : group; alg : M.Alg.t; cost : M.Cost.t }
     | Enforcer_inserted of { group : group; alg : M.Alg.t }
@@ -187,6 +225,12 @@ module Make (M : MODEL) : sig
 
   type irule = {
     i_name : string;
+    i_promise : int;
+        (** scheduling hint for guided search: rules with higher promise
+            are applied first (ties keep registration order), so cheap or
+            high-yield algorithms tighten the branch-and-bound limit
+            before expensive alternatives are costed. Ignored — and
+            invisible in results — outside guided mode. *)
     i_apply : ctx -> required:M.Pprop.t -> mexpr -> candidate list;
   }
 
@@ -218,6 +262,11 @@ module Make (M : MODEL) : sig
     trule_fired : int;  (** transformation applications that added a new mexpr *)
     trule_tried : int;
     candidates : int;  (** implementation candidates costed *)
+    pruned_candidates : int;
+        (** candidates whose local cost already exceeded the limit *)
+    pruned_subgoals : int;
+        (** input subgoals never expanded because the remaining budget
+            was negative (guided search only; always 0 otherwise) *)
     enforcer_uses : int;
     phys_memo_hits : int;
     closure_steps : int;  (** multi-expressions popped during logical closure *)
@@ -246,13 +295,27 @@ module Make (M : MODEL) : sig
   val session :
     ?disabled:string list ->
     ?pruning:bool ->
+    ?guided:bool ->
     ?closure_fuel:int ->
     ?trace:(event -> unit) ->
     ?spans:Oodb_util.Span.t ->
     ?typing:(M.Op.t -> M.Typ.t list -> (M.Typ.t, string) Stdlib.result) ->
     spec ->
     session
-  (** Fresh session with an empty memo. [closure_fuel] is a budget over
+  (** Fresh session with an empty memo.
+
+      [guided] (default [false]) turns on cost-bounded guided search:
+      implementation rules are applied in [i_promise] order, all
+      candidates of a goal are costed cheapest-local-cost first (so the
+      branch-and-bound limit tightens before expensive alternatives),
+      and an input subgoal whose remaining budget is already negative is
+      skipped without being expanded. Guided search returns plans with
+      exactly the same cost as the exhaustive search (skipping a
+      dominated subgoal only avoids work the exhaustive search performs
+      and then discards, since costs are non-negative) — it changes how
+      fast the winner is found, never which winner.
+
+      [closure_fuel] is a budget over
       the session's total closure steps (all [register] calls share it).
       Statistics and rule counters accumulate over the session's
       lifetime; each {!solve} result carries a snapshot. [spans]
@@ -291,6 +354,7 @@ module Make (M : MODEL) : sig
   val run :
     ?disabled:string list ->
     ?pruning:bool ->
+    ?guided:bool ->
     ?initial_limit:M.Cost.t ->
     ?closure_fuel:int ->
     ?trace:(event -> unit) ->

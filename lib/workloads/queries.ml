@@ -62,5 +62,19 @@ let fig3 =
   |> Logical.unnest ~out:"m" ~src:"t" ~field:"team_members"
   |> Logical.mat_ref ~out:"e" ~src:"m"
 
+(* Not from the paper: an n-way self-join chain over Employees, adjacent
+   bindings linked by name equality. join-assoc and join-commute expand
+   it into the full bushy join space, so memo size and optimization time
+   grow steeply with [width] — the scaling workload for the guided
+   search. *)
+let join_chain width =
+  if width < 2 then invalid_arg "Queries.join_chain: width must be >= 2";
+  let get i = Logical.get ~coll:"Employees" ~binding:(Printf.sprintf "j%d" i) in
+  let link i = eq (field (Printf.sprintf "j%d" (i - 1)) "name") (field (Printf.sprintf "j%d" i) "name") in
+  let rec build acc i =
+    if i >= width then acc else build (Logical.join [ link i ] acc (get i)) (i + 1)
+  in
+  build (get 0) 1
+
 let all =
   [ ("q1", q1); ("q2", q2); ("q3", q3); ("q4", q4); ("fig2", fig2); ("fig3", fig3) ]

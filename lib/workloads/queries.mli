@@ -39,5 +39,13 @@ val fred : Logical.t
     [employees_name] index. Not part of {!all} (it is not a paper
     query). *)
 
+val join_chain : int -> Logical.t
+(** An n-way self-join chain over Employees ([j0.name == j1.name == ...]).
+    Not a paper query: the search-scaling workload — join associativity
+    and commutativity expand an n-way chain into the full bushy join
+    space, so memo size and optimization time grow steeply with the
+    width.
+    @raise Invalid_argument when the width is below 2. *)
+
 val all : (string * Logical.t) list
 (** Named list of everything above. *)

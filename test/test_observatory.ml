@@ -268,12 +268,22 @@ let sample_query name opt exec =
     q_rules_fired = 23;
     q_mean_qerror = 1.5 }
 
+let sample_scale width opt =
+  { History.s_width = width;
+    s_opt_seconds = opt;
+    s_exhaustive_seconds = opt *. 3.0;
+    s_groups = 1 lsl width;
+    s_mexprs = 100 * width;
+    s_candidates = 10 * width;
+    s_pruned = 5 * width }
+
 let sample_record ?(sha = "abc1234") ?(opt = 0.002) ?(exec = 0.010) () =
   { History.r_git_sha = sha;
     r_date = "2026-08-05T12:00:00Z";
     r_batch_size = 64;
     r_cache_hit_rate = 0.5;
-    r_queries = [ sample_query "q1" opt exec; sample_query "q2" opt exec ] }
+    r_queries = [ sample_query "q1" opt exec; sample_query "q2" opt exec ];
+    r_search_scale = [ sample_scale 4 0.01; sample_scale 10 2.0 ] }
 
 let test_history_roundtrip () =
   let r = sample_record () in
@@ -303,8 +313,34 @@ let test_history_roundtrip () =
     | Ok r' ->
       Alcotest.(check bool) "v1 record still loads" true
         (Float.is_nan (List.hd r'.History.r_queries).History.q_mean_qerror)
-    | Error e -> Alcotest.fail ("v1 record rejected: " ^ e))
+    | Error e -> Alcotest.fail ("v1 record rejected: " ^ e));
+    (* A v2 record carries no search_scale; it must load as []. *)
+    let v2 =
+      Json.Obj
+        (List.filter_map
+           (function
+             | "schema_version", _ -> Some ("schema_version", Json.Int 2)
+             | "search_scale", _ -> None
+             | kv -> Some kv)
+           fields)
+    in
+    (match History.of_json v2 with
+    | Ok r' ->
+      Alcotest.(check bool) "v2 record loads with empty search_scale" true
+        (r'.History.r_search_scale = [])
+    | Error e -> Alcotest.fail ("v2 record rejected: " ^ e))
   | _ -> Alcotest.fail "to_json is not an object");
+  (* An over-budget width's nan exhaustive time survives as nan. *)
+  let nan_scale =
+    { (sample_record ()) with
+      History.r_search_scale =
+        [ { (sample_scale 12 30.0) with History.s_exhaustive_seconds = Float.nan } ] }
+  in
+  (match History.of_json (History.to_json nan_scale) with
+  | Ok r' ->
+    Alcotest.(check bool) "nan exhaustive_seconds survives as nan" true
+      (Float.is_nan (List.hd r'.History.r_search_scale).History.s_exhaustive_seconds)
+  | Error e -> Alcotest.fail ("nan scale round-trip failed: " ^ e));
   (* Version gate: a record from the future must be rejected. *)
   match History.to_json r with
   | Json.Obj fields ->
@@ -385,7 +421,21 @@ let test_history_gate () =
   in
   let c = History.compare_records ~old_rec ~new_rec:dropped () in
   Alcotest.(check (list string)) "missing queries listed" [ "q2" ] c.History.c_missing;
-  Alcotest.(check (list string)) "added queries listed" [ "q9" ] c.History.c_added
+  Alcotest.(check (list string)) "added queries listed" [ "q9" ] c.History.c_added;
+  (* A wide-join scaling blow-up is gated like any other wall time:
+     width 10 going 2.0s -> 6.0s is a chain10 regression. *)
+  let scale_slow =
+    { old_rec with
+      History.r_git_sha = "scale";
+      r_search_scale = [ sample_scale 4 0.01; sample_scale 10 6.0 ] }
+  in
+  let c = History.compare_records ~old_rec ~new_rec:scale_slow () in
+  Alcotest.(check bool) "guided scaling regression flagged" true (History.regressed c);
+  (match List.filter (fun d -> d.History.d_regressed) c.History.c_deltas with
+  | [ d ] ->
+    Alcotest.(check string) "reported under the chain name" "chain10" d.History.d_query;
+    Alcotest.(check string) "as the guided metric" "guided_opt_seconds" d.History.d_metric
+  | ds -> Alcotest.failf "expected exactly the chain10 delta, got %d" (List.length ds))
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic JSON                                                   *)

@@ -111,6 +111,23 @@ let test_fingerprint_sensitivity () =
   let cat2 = OC.catalog () in
   distinct "catalog content splits entries" (fp cat Q.q2) (fp cat2 Q.q2)
 
+let test_fingerprint_guided_meta () =
+  (* guided search is meta — it changes how fast the winner is found,
+     never which winner — so it must share plan-cache entries with the
+     exhaustive configuration *)
+  let cat = OC.catalog_with_indexes () in
+  Alcotest.(check bool) "guided on/off share the fingerprint" true
+    (Fingerprint.equal (fp cat Q.q1)
+       (fp ~options:(Options.with_guided Options.default) cat Q.q1));
+  Alcotest.(check bool) "guided+required order still splits on order" false
+    (Fingerprint.equal (fp cat Q.q3)
+       (fp
+          ~options:(Options.with_guided Options.default)
+          ~required:
+            { Physprop.empty with
+              Physprop.order = Some { Physprop.ord_binding = "c"; ord_field = Some "name" } }
+          cat Q.q3))
+
 let test_fingerprint_epoch () =
   let cat = OC.catalog_with_indexes () in
   let before = fp cat Q.q1 in
@@ -498,7 +515,8 @@ let () =
             test_fingerprint_conjunct_order;
           Alcotest.test_case "sensitivity to plan-relevant inputs" `Quick
             test_fingerprint_sensitivity;
-          Alcotest.test_case "catalog epoch & statistics" `Quick test_fingerprint_epoch ] );
+          Alcotest.test_case "catalog epoch & statistics" `Quick test_fingerprint_epoch;
+          Alcotest.test_case "guided flag is meta" `Quick test_fingerprint_guided_meta ] );
       ( "fuzz",
         [ Alcotest.test_case "fingerprint properties over random queries" `Quick
             test_fuzz_fingerprints;

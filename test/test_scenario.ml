@@ -17,8 +17,8 @@ let seed = 42
 (* Determinism *)
 
 let test_same_seed_same_digest () =
-  let a = Scenario.generate ~seed ~index:3 in
-  let b = Scenario.generate ~seed ~index:3 in
+  let a = Scenario.generate ~seed ~index:3 () in
+  let b = Scenario.generate ~seed ~index:3 () in
   Alcotest.(check string) "digests equal" (Scenario.digest a) (Scenario.digest b);
   Alcotest.(check (list string))
     "zql texts equal"
@@ -26,16 +26,16 @@ let test_same_seed_same_digest () =
     (List.map (fun q -> q.Scenario.qc_zql) b.Scenario.sc_queries)
 
 let test_different_seed_different_digest () =
-  let a = Scenario.generate ~seed ~index:0 in
-  let b = Scenario.generate ~seed:(seed + 1) ~index:0 in
+  let a = Scenario.generate ~seed ~index:0 () in
+  let b = Scenario.generate ~seed:(seed + 1) ~index:0 () in
   if Scenario.digest a = Scenario.digest b then
     Alcotest.fail "different seeds produced identical scenarios"
 
 (* Scenario [i] must not depend on how many scenarios are generated
    around it: streams are derived per (seed, index). *)
 let test_prefix_stability () =
-  let ten = List.init 10 (fun index -> Scenario.generate ~seed ~index) in
-  let three = List.init 3 (fun index -> Scenario.generate ~seed ~index) in
+  let ten = List.init 10 (fun index -> Scenario.generate ~seed ~index ()) in
+  let three = List.init 3 (fun index -> Scenario.generate ~seed ~index ()) in
   List.iteri
     (fun i sc ->
       Alcotest.(check string)
@@ -45,7 +45,7 @@ let test_prefix_stability () =
     three
 
 let test_build_db_deterministic () =
-  let sc = Scenario.generate ~seed ~index:1 in
+  let sc = Scenario.generate ~seed ~index:1 () in
   let d1 = Catalog.digest (Db.catalog (Scenario.build_db sc)) in
   let d2 = Catalog.digest (Db.catalog (Scenario.build_db sc)) in
   Alcotest.(check string) "catalog digests equal" (Digest.to_hex d1) (Digest.to_hex d2)
@@ -55,7 +55,7 @@ let test_build_db_deterministic () =
 
 let test_queries_compile_and_roundtrip () =
   for index = 0 to 7 do
-    let sc = Scenario.generate ~seed ~index in
+    let sc = Scenario.generate ~seed ~index () in
     let cat = Scenario.base_catalog sc.Scenario.sc_schema in
     List.iter
       (fun (qc : Scenario.query_case) ->
@@ -81,7 +81,7 @@ let test_queries_compile_and_roundtrip () =
   done
 
 let test_query_mix () =
-  let sc = Scenario.generate ~seed ~index:0 in
+  let sc = Scenario.generate ~seed ~index:0 () in
   let names = List.map (fun q -> q.Scenario.qc_name) sc.Scenario.sc_queries in
   List.iter
     (fun expected ->
@@ -99,7 +99,7 @@ let test_query_mix () =
 
 let test_differential_passes () =
   for index = 0 to 2 do
-    let sc = Scenario.generate ~seed ~index in
+    let sc = Scenario.generate ~seed ~index () in
     let r = Differential.run sc in
     (match r.Differential.d_failures with
     | [] -> ()
@@ -115,7 +115,7 @@ let test_differential_passes () =
    conjunct and a set operation are both present must shrink away
    everything else. *)
 let test_shrink_machinery () =
-  let sc = Scenario.generate ~seed ~index:0 in
+  let sc = Scenario.generate ~seed ~index:0 () in
   let setop =
     List.find (fun q -> q.Scenario.qc_name = "setop") sc.Scenario.sc_queries
   in
@@ -136,7 +136,7 @@ let test_shrink_machinery () =
 (* Effectiveness *)
 
 let test_effectiveness_rich_alternatives () =
-  let sc = Scenario.generate ~seed ~index:0 in
+  let sc = Scenario.generate ~seed ~index:0 () in
   let db = Scenario.build_db sc in
   let rich = List.find (fun q -> q.Scenario.qc_name = "rich") sc.Scenario.sc_queries in
   match
@@ -152,7 +152,7 @@ let test_effectiveness_rich_alternatives () =
     Alcotest.(check bool) "regret >= 1" true (s.Effectiveness.s_regret >= 1.0)
 
 let test_effectiveness_control_regret () =
-  let sc = Scenario.generate ~seed ~index:0 in
+  let sc = Scenario.generate ~seed ~index:0 () in
   match Effectiveness.negative_control sc with
   | Error e -> Alcotest.failf "control scoring failed: %s" e
   | Ok s ->
@@ -163,7 +163,7 @@ let test_effectiveness_control_regret () =
     Alcotest.(check bool) "rank worse than 1" true (s.Effectiveness.s_rank > 1)
 
 let test_effectiveness_report () =
-  let sc = Scenario.generate ~seed ~index:1 in
+  let sc = Scenario.generate ~seed ~index:1 () in
   let r = Effectiveness.run sc in
   Alcotest.(check bool) "scored every query" true
     (List.length r.Effectiveness.e_scores = List.length sc.Scenario.sc_queries);

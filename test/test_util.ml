@@ -1,5 +1,6 @@
 module Prng = Oodb_util.Prng
 module Pretty = Oodb_util.Pretty
+module Vec = Oodb_util.Vec
 
 let test_prng_deterministic () =
   let a = Prng.create 42 and b = Prng.create 42 in
@@ -48,6 +49,43 @@ let test_pretty_compact () =
   let t = Pretty.Node ("a", [ Pretty.Node ("b", []); Pretty.Node ("c", []) ]) in
   Alcotest.(check string) "compact" "a(b, c)" (Pretty.render_compact t)
 
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check int) "fresh vector is empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns the new index" i (Vec.push v (i * 10))
+  done;
+  Alcotest.(check int) "length tracks pushes" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get reads back" (i * 10) (Vec.get v i)
+  done;
+  Vec.set v 42 7;
+  Alcotest.(check int) "set overwrites in place" 7 (Vec.get v 42)
+
+let test_vec_bounds () =
+  let v = Vec.create ~capacity:4 () in
+  ignore (Vec.push v "x");
+  List.iter
+    (fun i ->
+      Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+          ignore (Vec.get v i));
+      Alcotest.check_raises "set out of bounds" (Invalid_argument "Vec.set: index out of bounds") (fun () ->
+          Vec.set v i "y"))
+    [ -1; 1; 5 ]
+
+let test_vec_traversals () =
+  let v = Vec.create () in
+  List.iter (fun x -> ignore (Vec.push v x)) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check (list int)) "to_list in push order" [ 3; 1; 4; 1; 5 ] (Vec.to_list v);
+  Alcotest.(check int) "fold_left sums" 14 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "iteri pairs indexes" [ (0, 3); (1, 1); (2, 4); (3, 1); (4, 5) ]
+    (List.rev !acc);
+  let n = ref 0 in
+  Vec.iter (fun _ -> incr n) v;
+  Alcotest.(check int) "iter visits each element once" 5 !n
+
 let prop_prng_uniformish =
   QCheck2.Test.make ~name:"int bound respected for random bounds" ~count:200
     QCheck2.Gen.(pair small_signed_int (int_range 1 1000))
@@ -63,6 +101,10 @@ let () =
           Alcotest.test_case "copy" `Quick test_prng_copy;
           Alcotest.test_case "pick and shuffle" `Quick test_prng_pick_shuffle;
           QCheck_alcotest.to_alcotest prop_prng_uniformish ] );
+      ( "vec",
+        [ Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds checks" `Quick test_vec_bounds;
+          Alcotest.test_case "traversals" `Quick test_vec_traversals ] );
       ( "pretty",
         [ Alcotest.test_case "spine rendering" `Quick test_pretty_spine;
           Alcotest.test_case "fanout rendering" `Quick test_pretty_fanout;

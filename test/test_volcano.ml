@@ -62,6 +62,8 @@ module Toy = struct
 
     let sub = ( -. )
 
+    let slack = 1e-9
+
     let compare = Float.compare
 
     let infinite = Float.infinity
@@ -103,6 +105,7 @@ let sorter_cost = 8.0
 
 let impl_leaf =
   { E.i_name = "impl-leaf";
+    i_promise = 10;
     i_apply =
       (fun _ctx ~required m ->
         match m.E.mop with
@@ -120,6 +123,7 @@ let impl_leaf =
 
 let impl_cat =
   { E.i_name = "impl-cat";
+    i_promise = 5;
     i_apply =
       (fun _ctx ~required m ->
         match m.E.mop, m.E.minputs with
@@ -230,6 +234,69 @@ let test_memo_dump () =
   let s = Format.asprintf "%a" E.pp_memo r.E.ctx in
   Alcotest.(check bool) "dump mentions cat" true (String.length s > 0)
 
+let test_packed_ids () =
+  List.iter
+    (fun k ->
+      let id = Volcano.Id.make k 37 in
+      Alcotest.(check int) "index survives the round trip" 37 (Volcano.Id.to_idx id);
+      Alcotest.(check bool) "kind survives the round trip" true (Volcano.Id.kind_of id = k))
+    [ Volcano.Id.Group; Volcano.Id.Mexpr; Volcano.Id.Phys ];
+  (* ids of distinct kinds never collide, whatever the index *)
+  Alcotest.(check bool) "kind tag separates equal indexes" false
+    (Volcano.Id.make Volcano.Id.Group 5 = Volcano.Id.make Volcano.Id.Mexpr 5);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Volcano.Id.make: index overflow") (fun () ->
+      ignore (Volcano.Id.make Volcano.Id.Group (-1)));
+  Alcotest.check_raises "overflowing index rejected"
+    (Invalid_argument "Volcano.Id.make: index overflow") (fun () ->
+      ignore (Volcano.Id.make Volcano.Id.Group max_int))
+
+let test_rule_counters_sorted () =
+  let e = cat (cat (leaf "a") (leaf "b")) (cat (leaf "c") (leaf "d")) in
+  let r = E.run (spec ()) e ~required:true in
+  let counters = E.rule_counters r.E.ctx in
+  let names = List.map (fun (n, _, _) -> n) counters in
+  Alcotest.(check (list string)) "sorted by rule name" (List.sort String.compare names) names;
+  Alcotest.(check bool) "all exercised rules present" true
+    (List.for_all (fun n -> List.mem n names) [ "commute"; "impl-leaf"; "impl-cat"; "sorter" ]);
+  (* determinism: an identical run reports identical counters *)
+  let r' = E.run (spec ()) e ~required:true in
+  Alcotest.(check bool) "bit-identical across identical runs" true
+    (counters = E.rule_counters r'.E.ctx)
+
+let test_guided_equivalence () =
+  (* guided search (promise-ordered rules, cost-sorted candidates,
+     bound-propagating subgoals) must return a winner with exactly the
+     exhaustive winner's cost, for every required-property goal *)
+  let exprs =
+    [ leaf "ab";
+      cat (leaf "a") (leaf "b");
+      cat (cat (leaf "a") (leaf "b")) (cat (leaf "c") (leaf "d"));
+      cat (leaf "a") (cat (leaf "bc") (leaf "d")) ]
+  in
+  List.iter
+    (fun required ->
+      List.iter
+        (fun e ->
+          let exhaustive = E.run ~guided:false (spec ()) e ~required in
+          let guided = E.run ~guided:true (spec ()) e ~required in
+          Alcotest.(check (float 0.0)) "identical winner cost" (plan_cost exhaustive)
+            (plan_cost guided);
+          Alcotest.(check bool) "guided expands no more candidates" true
+            (guided.E.stats.E.candidates <= exhaustive.E.stats.E.candidates))
+        exprs)
+    [ false; true ]
+
+let test_guided_prunes_subgoals () =
+  (* with a finite initial limit the guided search's bound propagation
+     refuses dominated subgoals outright *)
+  let e = cat (cat (leaf "a") (leaf "b")) (cat (leaf "c") (leaf "d")) in
+  let exhaustive = E.run ~guided:false (spec ()) e ~required:true in
+  let guided = E.run ~guided:true (spec ()) e ~required:true in
+  Alcotest.(check (float 0.0)) "identical winner cost" (plan_cost exhaustive) (plan_cost guided);
+  Alcotest.(check bool) "guided records pruning work" true
+    (guided.E.stats.E.pruned_candidates + guided.E.stats.E.pruned_subgoals > 0)
+
 let () =
   Alcotest.run "volcano"
     [ ( "search",
@@ -245,4 +312,11 @@ let () =
           Alcotest.test_case "group merging" `Quick test_group_merge;
           Alcotest.test_case "rule disabling" `Quick test_disabled_rule;
           Alcotest.test_case "logical property derivation" `Quick test_lprops;
-          Alcotest.test_case "memo dump" `Quick test_memo_dump ] ) ]
+          Alcotest.test_case "memo dump" `Quick test_memo_dump ] );
+      ( "representation",
+        [ Alcotest.test_case "packed id round trips" `Quick test_packed_ids;
+          Alcotest.test_case "rule counters sorted & deterministic" `Quick
+            test_rule_counters_sorted ] );
+      ( "guided",
+        [ Alcotest.test_case "guided == exhaustive winner cost" `Quick test_guided_equivalence;
+          Alcotest.test_case "guided prunes dominated work" `Quick test_guided_prunes_subgoals ] ) ]

@@ -111,7 +111,7 @@ let test_parse_roundtrip_pp () =
    comparison is after simplification, where locations are gone. *)
 let test_to_zql_roundtrip_generated () =
   for index = 0 to 11 do
-    let sc = Oodb_scenario.Scenario.generate ~seed:7 ~index in
+    let sc = Oodb_scenario.Scenario.generate ~seed:7 ~index () in
     let gcat = Oodb_scenario.Scenario.base_catalog sc.Oodb_scenario.Scenario.sc_schema in
     List.iter
       (fun (qc : Oodb_scenario.Scenario.query_case) ->
