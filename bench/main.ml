@@ -27,6 +27,7 @@ module Profile = Oodb_obs.Profile
 module Feedback = Oodb_obs.Feedback
 module Report = Oodb_obs.Report
 module History = Oodb_obs.History
+module Provenance = Oodb_obs.Provenance
 module Plancache = Oodb_plancache.Plancache
 
 let section title =
@@ -652,6 +653,65 @@ let feedback_loop () =
     r_cold.Executor.simulated_seconds r_warm.Executor.simulated_seconds
     (r_cold.Executor.simulated_seconds /. Float.max 1e-9 r_warm.Executor.simulated_seconds)
 
+(* Provenance overhead and why-not smoke ------------------------------ *)
+
+(* Optimizer wall time on the width-8 chain join with provenance
+   recording on (the default) vs off, min over interleaved trials. The
+   5% gate is advisory (report-only): the number lands in the history
+   record so drifts are visible, but a noisy CI box never fails on it. *)
+let provenance_overhead_budget_pct = 5.0
+
+let provenance_overhead ?(trials = 5) () =
+  let q = Q.join_chain 8 in
+  (* CPU time, not wall time: the diff of two ~0.2s measurements is
+     exactly where scheduler jitter would otherwise dominate the
+     statistic. *)
+  let time options =
+    Gc.full_major ();
+    let t0 = Sys.time () in
+    ignore (Opt.optimize ~options cat q);
+    Sys.time () -. t0
+  in
+  let on = ref infinity and off = ref infinity in
+  for _ = 1 to trials do
+    off := Float.min !off (time (Options.without_provenance Options.default));
+    on := Float.min !on (time Options.default)
+  done;
+  let pct = if !off > 0. then 100. *. (!on -. !off) /. !off else Float.nan in
+  Format.printf
+    "provenance overhead (chain-8, min of %d): on %.4fs vs off %.4fs = %+.1f%%%s@."
+    trials !on !off pct
+    (if pct > provenance_overhead_budget_pct then
+       Printf.sprintf "  WARNING: over the %.0f%% budget (report-only)"
+         provenance_overhead_budget_pct
+     else "");
+  pct
+
+(* Wall seconds of representative why-not classifications (optimize +
+   classify), one per death mode — the explanation path must stay
+   interactive. *)
+let whynot_smoke () =
+  let time name options shape =
+    let q = if String.length name >= 5 && String.sub name 0 5 = "chain" then Q.join_chain 8 else Q.q1 in
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let outcome = Opt.optimize ~options cat q in
+    let replay options = Opt.optimize ~options cat q in
+    (match Provenance.classify ~options ~replay outcome shape with
+    | Ok _ -> ()
+    | Error e -> Format.printf "  why-not smoke %s failed: %s@." name e);
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "  why-not %-24s %.4fs@." name dt;
+    (name, dt)
+  in
+  [ time "q1-merge-lost" Options.default (Provenance.Force_join "merge");
+    time "q1-merge-disabled"
+      (Options.disable "merge-join" Options.default)
+      (Provenance.Force_join "merge");
+    time "chain8-guided-hash-pruned"
+      (Options.with_guided Options.default)
+      (Provenance.Force_join "hash") ]
+
 (* Bench history: the regression gate's input ------------------------- *)
 
 let git_sha () =
@@ -733,7 +793,9 @@ let history_record ?(trials = 5) ~scale () =
     r_batch_size = Config.default.Config.batch_size;
     r_cache_hit_rate = cache_hit_rate;
     r_queries = queries;
-    r_search_scale = scale }
+    r_search_scale = scale;
+    r_provenance_overhead_pct = provenance_overhead ();
+    r_whynot_smoke = whynot_smoke () }
 
 let history_path () =
   match Sys.getenv_opt "OODB_BENCH_HISTORY" with

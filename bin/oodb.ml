@@ -13,6 +13,9 @@
      oodb run --paper q1 --feedback        ... closing the cardinality-feedback loop
      oodb feedback [--json|--clear]        inspect or clear the feedback store
      oodb explain --paper q3 --analyze     plan annotated with measured actuals
+     oodb explain --paper q1 --why         derivation lineage of the winning plan
+     oodb explain --paper q2 --memo-out m.json --memo-dot m.dot   memo export
+     oodb why-not --paper q1 --force-join merge    where the alternative died
      oodb optimize --paper q1 --trace      ... with search tracing
      oodb stats [-o FILE]                  full machine-readable workload report
      oodb bench-compare OLD [NEW]          regression gate over bench history records
@@ -41,6 +44,7 @@ module History = Oodb_obs.History
 module Plancache = Oodb_plancache.Plancache
 module Fingerprint = Oodb_plancache.Fingerprint
 module Feedback = Oodb_obs.Feedback
+module Provenance = Oodb_obs.Provenance
 module Datagen = Oodb_workloads.Datagen
 module Scenario = Oodb_scenario.Scenario
 module Differential = Oodb_scenario.Differential
@@ -194,7 +198,10 @@ let optimize_run paper text disabled window no_pruning no_indexes trace timeline
         Format.printf "@.per-group activity:@.%a" Trace.pp_groups tr;
         if timeline > 0 then
           Format.printf "@.timeline (last %d events):@.%a" timeline
-            (Trace.pp_timeline ~limit:timeline) tr);
+            (fun ppf tr ->
+              Trace.pp_timeline ~limit:timeline
+                ~prov_dropped:outcome.Opt.stats.Engine.prov_dropped ppf tr)
+            tr);
       0
     end
 
@@ -532,8 +539,12 @@ let feedback_cmd =
       const feedback_run $ feedback_json_arg $ feedback_clear_arg $ scale_arg
       $ skewed_arg)
 
-let explain_run paper text disabled window no_pruning batch_size scale analyze =
-  let db = Oodb_workloads.Datagen.generate ~scale () in
+let explain_run paper text disabled window no_pruning batch_size scale analyze why
+    guided skewed feedback memo_out memo_dot =
+  let db =
+    if skewed then Datagen.generate_skewed ~scale ()
+    else Oodb_workloads.Datagen.generate ~scale ()
+  in
   let cat = Db.catalog db in
   match compile_query cat paper text with
   | Error m ->
@@ -541,7 +552,31 @@ let explain_run paper text disabled window no_pruning batch_size scale analyze =
     1
   | Ok (q, required) ->
     let options = options_of ?batch_size disabled window no_pruning in
+    let options = if guided then Options.with_guided options else options in
+    let options =
+      if not feedback then options
+      else
+        match Feedback.of_env cat with
+        | Some f -> Feedback.install f options
+        | None ->
+          Format.eprintf
+            "warning: --feedback but %s is unset or empty; using cold statistics@."
+            Feedback.env_var;
+          options
+    in
     let outcome = Opt.optimize ~options ~required cat q in
+    (* memo exports work even when no plan was found: an empty physical
+       memo with full lineage is exactly what debugging wants *)
+    (match memo_out with
+    | None -> ()
+    | Some path ->
+      write_file path (Json.to_string (Provenance.memo_json outcome ~required));
+      Format.eprintf "wrote %s@." path);
+    (match memo_dot with
+    | None -> ()
+    | Some path ->
+      write_file path (Provenance.memo_dot outcome ~required);
+      Format.eprintf "wrote %s@." path);
     (match outcome.Opt.plan with
     | None ->
       Format.printf "no plan found@.";
@@ -555,6 +590,26 @@ let explain_run paper text disabled window no_pruning batch_size scale analyze =
           Executor.pp_report report;
         0
       end
+      else if why then begin
+        match Provenance.why outcome ~required with
+        | Error m ->
+          Format.eprintf "error: %s@." m;
+          1
+        | Ok step ->
+          let est =
+            Provenance.est_annotations ~config:options.Options.config cat outcome
+          in
+          Format.printf "%s" (Opt.explain outcome);
+          Format.printf "@.derivation (bottom-up):@.%a"
+            (fun ppf s -> Provenance.pp_why ?est ppf s)
+            step;
+          let dropped = outcome.Opt.stats.Engine.prov_dropped in
+          if dropped > 0 then
+            Format.printf
+              "WARNING: %d provenance record(s) dropped; lineage may be incomplete@."
+              dropped;
+          0
+      end
       else begin
         Format.printf "%s" (Opt.explain outcome);
         0
@@ -567,15 +622,164 @@ let analyze_flag_arg =
         ~doc:"Also execute the plan and annotate every node with actual rows, q-error, \
               exclusive wall time and exclusive I/O (estimates alone otherwise).")
 
+let why_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "why" ]
+        ~doc:"Print the winning plan's derivation lineage: every node's producing \
+              implementation rule, the transformation chain that derived its \
+              multi-expression, per-step costs and cardinality estimates with their \
+              source (model or feedback).")
+
+let guided_arg =
+  Arg.(
+    value & flag
+    & info [ "guided" ]
+        ~doc:"Use cost-bounded guided search (promise-ordered rules, cheapest-first \
+              candidates, subgoal domination).")
+
+let memo_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "memo-out" ] ~docv:"FILE"
+        ~doc:"Write a deterministic JSON export of the memo — groups, multi-expressions \
+              with lineage, the candidate log with prune dispositions, and the winner \
+              path — to $(docv).")
+
+let memo_dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "memo-dot" ] ~docv:"FILE"
+        ~doc:"Write a Graphviz DOT rendering of the memo DAG to $(docv): lineage edges \
+              labeled with producing rules, the winner path in red, pruned-everywhere \
+              nodes dashed.")
+
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Show the chosen plan for a query; with $(b,--analyze), execute it and fuse the \
-          optimizer's estimates with measured per-operator actuals.")
+          optimizer's estimates with measured per-operator actuals; with $(b,--why), \
+          print the plan's derivation lineage; with $(b,--memo-out)/$(b,--memo-dot), \
+          export the memo as deterministic JSON or Graphviz DOT.")
     Term.(
       const explain_run $ paper_arg $ query_pos $ disable_arg $ window_arg $ no_pruning_arg
-      $ batch_size_arg $ scale_arg $ analyze_flag_arg)
+      $ batch_size_arg $ scale_arg $ analyze_flag_arg $ why_flag_arg $ guided_arg
+      $ skewed_arg $ feedback_arg $ memo_out_arg $ memo_dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* why-not: counterfactual plan-shape classification                     *)
+
+let why_not_run paper text chain disabled window no_pruning no_indexes guided skewed
+    feedback scale force_index force_join force_scan force_alg json =
+  let shape =
+    match force_index, force_join, force_scan, force_alg with
+    | Some ix, None, None, None -> Ok (Provenance.Force_index ix)
+    | None, Some j, None, None -> Ok (Provenance.Force_join j)
+    | None, None, Some c, None -> Ok (Provenance.Force_scan c)
+    | None, None, None, Some a -> Ok (Provenance.Force_alg a)
+    | None, None, None, None ->
+      Error "no shape given: pass --force-index, --force-join, --force-scan or --force-alg"
+    | _ -> Error "pass exactly one of --force-index/--force-join/--force-scan/--force-alg"
+  in
+  match shape with
+  | Error m ->
+    Format.eprintf "error: %s@." m;
+    1
+  | Ok shape -> (
+    let cat =
+      if skewed then Db.catalog (Datagen.generate_skewed ~scale ())
+      else if no_indexes then OC.catalog ()
+      else OC.catalog_with_indexes ()
+    in
+    let compiled =
+      match chain with
+      | Some w -> Ok (Oodb_workloads.Queries.join_chain w, Open_oodb.Physprop.empty)
+      | None -> compile_query cat paper text
+    in
+    match compiled with
+    | Error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | Ok (q, required) -> (
+      let options = options_of disabled window no_pruning in
+      let options = if guided then Options.with_guided options else options in
+      let options =
+        if not feedback then options
+        else
+          match Feedback.of_env cat with
+          | Some f -> Feedback.install f options
+          | None ->
+            Format.eprintf
+              "warning: --feedback but %s is unset or empty; using cold statistics@."
+              Feedback.env_var;
+            options
+      in
+      let outcome = Opt.optimize ~options ~required cat q in
+      let replay options = Opt.optimize ~options ~required cat q in
+      match Provenance.classify ~options ~replay outcome shape with
+      | Error m ->
+        Format.eprintf "error: %s@." m;
+        1
+      | Ok cl ->
+        if json then
+          print_endline (Json.to_string (Provenance.classification_json cl))
+        else Format.printf "%a" Provenance.pp_classification cl;
+        0))
+
+let chain_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "chain" ] ~docv:"W"
+        ~doc:"Use the built-in $(docv)-way chain-join query instead of ZQL text or \
+              $(b,--paper) (the guided-search pruning demo).")
+
+let force_index_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "force-index" ] ~docv:"NAME"
+        ~doc:"Ask why the plan does not scan through index $(docv) (empty string: any \
+              index scan).")
+
+let force_join_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "force-join" ] ~docv:"KIND"
+        ~doc:"Ask why the plan does not use a $(docv) join: $(b,hash), $(b,merge) or \
+              $(b,pointer).")
+
+let force_scan_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "force-scan" ] ~docv:"COLL"
+        ~doc:"Ask why the plan does not file-scan collection $(docv) (empty string: any \
+              file scan).")
+
+let force_alg_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "force-alg" ] ~docv:"LABEL"
+        ~doc:"Ask why the plan does not contain algorithm $(docv) (e.g. $(b,sort), \
+              $(b,assembly)).")
+
+let why_not_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the classification as JSON.")
+
+let why_not_cmd =
+  Cmd.v
+    (Cmd.info "why-not"
+       ~doc:
+         "Classify why a hypothetical plan shape is absent from the chosen plan: \
+          $(b,never derived) (no producing rule fired — e.g. the rule is disabled or \
+          no such index exists), $(b,derived but lost) (costed, but beaten — the \
+          report decomposes the cost gap into I/O and CPU), or $(b,pruned) (died \
+          under the branch-and-bound limit — the report replays the bound and the \
+          margin). Requires provenance recording (on by default).")
+    Term.(
+      const why_not_run $ paper_arg $ query_pos $ chain_arg $ disable_arg $ window_arg
+      $ no_pruning_arg $ no_indexes_arg $ guided_arg $ skewed_arg $ feedback_arg
+      $ scale_arg $ force_index_arg $ force_join_arg $ force_scan_arg $ force_alg_arg
+      $ why_not_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-compare: the regression gate over BENCH_history.jsonl          *)
@@ -1067,5 +1271,5 @@ let () =
   let info = Cmd.info "oodb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ catalog_cmd; rules_cmd; optimize_cmd; optimize_all_cmd; memo_cmd; run_cmd;
-            feedback_cmd; explain_cmd; bench_compare_cmd; greedy_cmd; analyze_cmd;
-            stats_cmd; lint_cmd; certify_cmd; gen_cmd; effectiveness_cmd ]))
+            feedback_cmd; explain_cmd; why_not_cmd; bench_compare_cmd; greedy_cmd;
+            analyze_cmd; stats_cmd; lint_cmd; certify_cmd; gen_cmd; effectiveness_cmd ]))

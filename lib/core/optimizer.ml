@@ -51,8 +51,9 @@ let optimize ?(options = Options.default) ?(required = Physprop.empty)
   let result =
     Oodb_util.Span.with_span spans ~cat:"optimizer" "optimize" (fun () ->
         Engine.run ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-          ~guided:options.Options.guided ~initial_limit ?closure_fuel ?trace ?spans
-          ?typing:(typing_hook options cat) spec (expr_of_logical expr) ~required)
+          ~guided:options.Options.guided ~provenance:options.Options.provenance
+          ~initial_limit ?closure_fuel ?trace ?spans ?typing:(typing_hook options cat)
+          spec (expr_of_logical expr) ~required)
   in
   let t1 = Sys.time () in
   lint options cat ~required result.Engine.plan;
@@ -66,8 +67,8 @@ let optimize_batch ?(options = Options.default) ?closure_fuel ?trace ?spans cat 
   let spec = spec options cat in
   let s =
     Engine.session ~disabled:options.Options.disabled ~pruning:options.Options.pruning
-      ~guided:options.Options.guided ?closure_fuel ?trace ?spans
-      ?typing:(typing_hook options cat) spec
+      ~guided:options.Options.guided ~provenance:options.Options.provenance ?closure_fuel
+      ?trace ?spans ?typing:(typing_hook options cat) spec
   in
   (* Register every root before solving any of them: the shared memo then
      reaches its full logical closure once, and a subexpression two

@@ -34,3 +34,17 @@ let is_finite t = Float.is_finite (total t)
 let pp ppf t =
   if not (is_finite t) then Format.pp_print_string ppf "inf"
   else Format.fprintf ppf "%.2fs (io %.2f + cpu %.2f)" (total t) t.io t.cpu
+
+type delta = { d_io : float; d_cpu : float; d_total : float; d_ratio : float }
+
+let delta ~winner ~loser =
+  let d_io = loser.io -. winner.io and d_cpu = loser.cpu -. winner.cpu in
+  let wt = total winner and lt = total loser in
+  let d_ratio =
+    if wt > 0.0 then lt /. wt else if lt > 0.0 then Float.infinity else 1.0
+  in
+  { d_io; d_cpu; d_total = lt -. wt; d_ratio }
+
+let pp_delta ppf d =
+  Format.fprintf ppf "+%.2fs (io %+.2f, cpu %+.2f; %.1fx)" d.d_total d.d_io d.d_cpu
+    d.d_ratio

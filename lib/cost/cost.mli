@@ -55,3 +55,15 @@ val is_finite : t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** e.g. [119.60s (io 118.52 + cpu 1.08)]. *)
+
+type delta = { d_io : float; d_cpu : float; d_total : float; d_ratio : float }
+(** Decomposed gap between two plans' costs: componentwise loser − winner
+    differences, the total-seconds difference, and the loser/winner
+    total ratio ([1.0] for two zero-cost plans, [infinity] when only the
+    winner is free). The explanation layer ([why-not]'s
+    derived-but-lost report) uses this to say {e where} the gap lives. *)
+
+val delta : winner:t -> loser:t -> delta
+
+val pp_delta : Format.formatter -> delta -> unit
+(** e.g. [+12.40s (io +12.10, cpu +0.30; 11.6x)]. *)

@@ -1,6 +1,6 @@
 module Json = Oodb_util.Json
 
-let schema_version = 3
+let schema_version = 4
 
 type query_rec = {
   q_name : string;
@@ -31,6 +31,8 @@ type record = {
   r_cache_hit_rate : float;
   r_queries : query_rec list;
   r_search_scale : scale_rec list;  (* [] on v1/v2 records *)
+  r_provenance_overhead_pct : float;  (* nan on v1-v3 records *)
+  r_whynot_smoke : (string * float) list;  (* [] on v1-v3 records *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -68,7 +70,16 @@ let to_json r =
       ("batch_size", Json.Int r.r_batch_size);
       ("cache_hit_rate", Json.float r.r_cache_hit_rate);
       ("queries", Json.List (List.map query_json r.r_queries));
-      ("search_scale", Json.List (List.map scale_json r.r_search_scale)) ]
+      ("search_scale", Json.List (List.map scale_json r.r_search_scale));
+      (* Json.float encodes the nan of an unmeasured run as null *)
+      ("provenance_overhead_pct", Json.float r.r_provenance_overhead_pct);
+      ( "whynot_smoke",
+        Json.List
+          (List.map
+             (fun (name, seconds) ->
+               Json.Obj
+                 [ ("name", Json.String name); ("seconds", Json.float seconds) ])
+             r.r_whynot_smoke) ) ]
 
 let ( let* ) = Result.bind
 
@@ -145,9 +156,32 @@ let of_json j =
         | None -> Error "field \"search_scale\" has the wrong type"
         | Some l -> all_ok (List.map scale_of_json l))
     in
+    (* Absent on v1-v3 records, null when the run skipped the overhead
+       measurement — both read as nan / []. *)
+    let r_provenance_overhead_pct =
+      match Json.member "provenance_overhead_pct" j with
+      | Some v -> Option.value (Json.to_float v) ~default:Float.nan
+      | None -> Float.nan
+    in
+    let* r_whynot_smoke =
+      match Json.member "whynot_smoke" j with
+      | None -> Ok []
+      | Some v -> (
+        match Json.to_list v with
+        | None -> Error "field \"whynot_smoke\" has the wrong type"
+        | Some l ->
+          all_ok
+            (List.map
+               (fun entry ->
+                 let* name = field "name" to_string_opt entry in
+                 let* seconds = field "seconds" Json.to_float entry in
+                 Ok (name, seconds))
+               l))
+    in
     if r_queries = [] then Error "empty \"queries\""
     else
-      Ok { r_git_sha; r_date; r_batch_size; r_cache_hit_rate; r_queries; r_search_scale }
+      Ok { r_git_sha; r_date; r_batch_size; r_cache_hit_rate; r_queries; r_search_scale;
+           r_provenance_overhead_pct; r_whynot_smoke }
 
 let of_line line =
   let* j = Json.of_string line in

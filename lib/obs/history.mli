@@ -16,10 +16,11 @@
 module Json = Oodb_util.Json
 
 val schema_version : int
-(** Currently 3 (v2 added [mean_qerror]; v3 added [search_scale]).
-    {!of_json} accepts any version from 1 up to the current one — older
-    records simply read the fields they predate as absent — and rejects
-    records from the future. *)
+(** Currently 4 (v2 added [mean_qerror]; v3 added [search_scale]; v4
+    added [provenance_overhead_pct] and [whynot_smoke]). {!of_json}
+    accepts any version from 1 up to the current one — older records
+    simply read the fields they predate as absent — and rejects records
+    from the future. *)
 
 type query_rec = {
   q_name : string;
@@ -57,6 +58,15 @@ type record = {
   r_cache_hit_rate : float;  (** served / lookups over the run's cache phase *)
   r_queries : query_rec list;
   r_search_scale : scale_rec list;  (** [[]] on v1/v2 records *)
+  r_provenance_overhead_pct : float;
+      (** optimizer wall-time overhead of provenance recording on the
+          width-8 chain join, in percent (min over trials, on vs off);
+          [nan] (encoded [null]) on v1–v3 records and unmeasured runs.
+          Advisory: the bench warns past 5% but never fails on it. *)
+  r_whynot_smoke : (string * float) list;
+      (** wall seconds of representative why-not classifications
+          (optimize + classify), by scenario name; [[]] on v1–v3
+          records *)
 }
 
 (** {1 Serialization} *)

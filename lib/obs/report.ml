@@ -97,7 +97,9 @@ let stats_json (s : Engine.stats) =
       ("enforcer_uses", Json.Int s.Engine.enforcer_uses);
       ("phys_memo_hits", Json.Int s.Engine.phys_memo_hits);
       ("closure_steps", Json.Int s.Engine.closure_steps);
-      ("closure_complete", Json.Bool s.Engine.closure_complete) ]
+      ("closure_complete", Json.Bool s.Engine.closure_complete);
+      ("prov_records", Json.Int s.Engine.prov_records);
+      ("prov_dropped", Json.Int s.Engine.prov_dropped) ]
 
 let cost_json (c : Cost.t) =
   Json.Obj
@@ -120,7 +122,10 @@ let to_json t =
           ([ ("stats", stats_json t.outcome.Optimizer.stats);
              ("opt_seconds", Json.float t.outcome.Optimizer.opt_seconds) ]
           @ plan_fields
-          @ [ ("trace", Trace.to_json t.trace) ]) );
+          @ [ ( "trace",
+                Trace.to_json
+                  ~prov_dropped:t.outcome.Optimizer.stats.Engine.prov_dropped t.trace )
+            ]) );
       ( "execution",
         Json.Obj
           [ ("io", io_report_json t.report);

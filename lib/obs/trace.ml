@@ -210,7 +210,7 @@ let pp_event ppf (e : Engine.event) =
   | Phys_memo_hit { group; required } ->
     Format.fprintf ppf "memo hit: (group %d, %a)" group Physprop.pp required
 
-let pp_timeline ?limit ppf t =
+let pp_timeline ?limit ?(prov_dropped = 0) ppf t =
   (* Lead with the drop count: a truncated timeline silently read as
      complete is worse than no timeline. Aggregates stay exact anyway. *)
   if dropped t > 0 then
@@ -218,6 +218,11 @@ let pp_timeline ?limit ppf t =
       "WARNING: %d of %d events dropped (ring capacity exceeded); timeline is a \
        suffix, aggregates remain exact@."
       (dropped t) (seen t);
+  if prov_dropped > 0 then
+    Format.fprintf ppf
+      "WARNING: %d provenance candidate-log rows dropped (cap exceeded); lineage and \
+       explanations are incomplete@."
+      prov_dropped;
   let evs = events t in
   let retained = List.length evs in
   let evs, shown =
@@ -304,12 +309,12 @@ let event_json (e : Engine.event) =
       [ g group;
         ("required", Json.String (Format.asprintf "%a" Physprop.pp required)) ]
 
-let to_json t =
+let to_json ?(prov_dropped = 0) t =
   let x = t.totals in
   Json.Obj
     ((* top-level, not buried in "timeline": consumers checking
         completeness should not need to know the nesting *)
-     [ ("dropped", Json.Int (dropped t)) ]
+     [ ("dropped", Json.Int (dropped t)); ("prov_dropped", Json.Int prov_dropped) ]
     @ (if dropped t > 0 then
          [ ( "dropped_warning",
              Json.String
@@ -317,6 +322,14 @@ let to_json t =
                   "%d of %d events dropped (ring capacity exceeded); timeline is \
                    a suffix, aggregates remain exact"
                   (dropped t) (seen t)) ) ]
+       else [])
+    @ (if prov_dropped > 0 then
+         [ ( "prov_dropped_warning",
+             Json.String
+               (Printf.sprintf
+                  "%d provenance candidate-log rows dropped (cap exceeded); lineage \
+                   and explanations are incomplete"
+                  prov_dropped) ) ]
        else [])
     @ [ ( "totals",
         Json.Obj

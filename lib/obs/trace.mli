@@ -74,11 +74,13 @@ val events : t -> (int * Engine.event) list
 
 val pp_event : Format.formatter -> Engine.event -> unit
 
-val pp_timeline : ?limit:int -> Format.formatter -> t -> unit
+val pp_timeline : ?limit:int -> ?prov_dropped:int -> Format.formatter -> t -> unit
 (** Sequence-numbered event lines, oldest first; [limit] keeps only the
     last [limit] retained events. {e Leads} with a WARNING line whenever
     the ring dropped events, so a truncated timeline cannot be mistaken
-    for a complete one. *)
+    for a complete one; [prov_dropped] (the engine's
+    [stats.prov_dropped]) adds the same warning for truncated
+    provenance lineage. *)
 
 val pp_rules : Format.formatter -> t -> unit
 (** Per-rule tried/fired table, the paper's Table 2–3 shape. *)
@@ -87,9 +89,10 @@ val pp_groups : Format.formatter -> t -> unit
 
 val pp_summary : Format.formatter -> t -> unit
 
-val to_json : t -> Json.t
-(** [{"dropped": n, "totals": .., "rules": [..], "groups": [..],
-    "timeline": {"seen": n, "dropped": n, "events": [..]}}] — the
-    top-level ["dropped"] (plus a human-readable ["dropped_warning"]
-    when nonzero) flags an incomplete timeline without digging into the
-    nesting. *)
+val to_json : ?prov_dropped:int -> t -> Json.t
+(** [{"dropped": n, "prov_dropped": n, "totals": .., "rules": [..],
+    "groups": [..], "timeline": {"seen": n, "dropped": n,
+    "events": [..]}}] — the top-level ["dropped"] and ["prov_dropped"]
+    (plus human-readable [.._warning] fields when nonzero) flag an
+    incomplete timeline or truncated provenance lineage without digging
+    into the nesting. *)

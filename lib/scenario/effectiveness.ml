@@ -32,6 +32,10 @@ type score = {
   s_row_mismatches : int;
       (** sampled plans whose row multiset differed from the chosen
           plan's — any nonzero value is an optimizer soundness bug *)
+  s_why_not : Oodb_obs.Provenance.classification option;
+      (** when regret > 1: why the best sampled plan's distinguishing
+          operator is absent from the chosen plan — the actionable
+          diagnosis behind the regret number *)
 }
 
 type report = {
@@ -235,14 +239,53 @@ let score_zql_exn ~sample db options ~name ~zql =
       let mismatches =
         List.length (List.filter (fun (_, rows, _) -> rows <> chosen_rows) (List.tl timed))
       in
+      let regret =
+        if best_seconds <= 0.0 then 1.0 else chosen_seconds /. best_seconds
+      in
+      (* Regret > 1 means a sampled plan beat the chosen one on measured
+         seconds: diagnose it by asking why-not about the fastest
+         alternative's distinguishing operator (topmost-first), turning
+         the regret number into a rule/cost/prune story. *)
+      let why_not =
+        if regret <= 1.0 then None
+        else
+          let rec algs (p : Engine.plan) =
+            p.Engine.alg :: List.concat_map algs p.Engine.children
+          in
+          let best_plan =
+            List.fold_left
+              (fun (bp, bs) (p, _, s) -> if s < bs then (p, s) else (bp, bs))
+              (chosen, chosen_seconds) (List.tl timed)
+            |> fst
+          in
+          let chosen_algs = algs chosen in
+          let distinguishing =
+            List.find_opt
+              (fun a ->
+                let shape = Oodb_obs.Provenance.shape_of_alg a in
+                not (List.exists (Oodb_obs.Provenance.shape_matches shape) chosen_algs))
+              (algs best_plan)
+          in
+          match distinguishing with
+          | None -> None
+          | Some a -> (
+            let replay options = Opt.optimize ~options ~required cat logical in
+            match
+              Oodb_obs.Provenance.classify ~options ~replay outcome
+                (Oodb_obs.Provenance.shape_of_alg a)
+            with
+            | Ok cl -> Some cl
+            | Error _ -> None)
+      in
       Ok
         { s_query = name;
           s_alternatives = List.length timed;
           s_rank = rank;
-          s_regret = (if best_seconds <= 0.0 then 1.0 else chosen_seconds /. best_seconds);
+          s_regret = regret;
           s_chosen_seconds = chosen_seconds;
           s_best_seconds = best_seconds;
-          s_row_mismatches = mismatches })
+          s_row_mismatches = mismatches;
+          s_why_not = why_not })
 
 (* Engine exceptions while optimizing or running sampled plans are
    reported, not propagated — scoring rides on fuzzed inputs. *)
@@ -284,7 +327,11 @@ let score_json s =
       ("regret", Json.float s.s_regret);
       ("chosen_seconds", Json.float s.s_chosen_seconds);
       ("best_seconds", Json.float s.s_best_seconds);
-      ("row_mismatches", Json.Int s.s_row_mismatches) ]
+      ("row_mismatches", Json.Int s.s_row_mismatches);
+      ( "why_not",
+        match s.s_why_not with
+        | None -> Json.Null
+        | Some cl -> Oodb_obs.Provenance.classification_json cl ) ]
 
 let report_json r =
   Json.Obj

@@ -27,6 +27,14 @@ type score = {
   s_chosen_seconds : float;
   s_best_seconds : float;
   s_row_mismatches : int;
+  s_why_not : Oodb_obs.Provenance.classification option;
+      (** when regret > 1: the why-not classification of the best
+          sampled plan's distinguishing operator (the topmost operator
+          shape present in the fastest alternative but absent from the
+          chosen plan) — was it never derived, derived but lost on
+          estimated cost, or pruned? [None] when the chosen plan was
+          (among the sample) optimal, when the plans differ only in
+          shape arrangement, or when provenance was off. *)
 }
 
 type report = {

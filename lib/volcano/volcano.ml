@@ -226,6 +226,63 @@ module Make (M : MODEL) = struct
 
   type rule_counter = { mutable rc_tried : int; mutable rc_fired : int }
 
+  (* ------------------------------------------------------------------ *)
+  (* Provenance side-tables                                              *)
+
+  (* How a logged physical candidate died (or didn't). [margin] is always
+     the amount by which the bound was exceeded at the decision point
+     (positive = over budget), before the [Cost.slack] tolerance:
+     [Pruned_candidate] compares the candidate's local cost against the
+     limit in force; [Pruned_subgoal] is the committed cost overrun when
+     the remaining budget for a child goal went negative. [Abandoned]
+     covers candidates that never completed for any other reason — the
+     delivered property did not satisfy the requirement, or a child goal
+     found no plan within its budget. *)
+  type disposition =
+    | Kept of M.Cost.t (* full plan cost when the candidate completed *)
+    | Pruned_candidate of { limit : M.Cost.t; margin : M.Cost.t }
+    | Pruned_subgoal of {
+        subgoal : group;
+        subgoal_required : M.Pprop.t;
+        limit : M.Cost.t;
+        margin : M.Cost.t;
+      }
+    | Abandoned
+
+  (* One row of the candidate log: a physical candidate (or enforcer
+     offer) at the moment it was costed, plus its final disposition. *)
+  type prov_cand = {
+    pc_seq : int;
+    pc_group : group; (* canonical at record time; re-canonicalize on read *)
+    pc_required : M.Pprop.t;
+    pc_rule : string;
+    pc_mexpr : int; (* packed mexpr id implementing it; -1 for enforcer offers *)
+    pc_alg : M.Alg.t;
+    pc_local_cost : M.Cost.t;
+    pc_inputs : (group * M.Pprop.t) list;
+    mutable pc_disposition : disposition;
+  }
+
+  (* Flat side-tables parallel to the memo's [Vec] representation.
+     [pm_rule]/[pm_parent]/[pm_seq] are indexed by mexpr table index
+     (pushed exactly when [ctx.mexprs] is); the candidate log is bounded
+     by [pv_cap] with an explicit drop counter so truncated lineage is
+     never silently presented as complete. *)
+  type prov = {
+    pm_rule : int Vec.t; (* interned trule id, -1 = root intern *)
+    pm_parent : int Vec.t; (* packed mexpr id the rule fired on, -1 = none *)
+    pm_seq : int Vec.t; (* global firing sequence number *)
+    pr_names : string Vec.t;
+    pr_index : (string, int) Hashtbl.t;
+    pv_cands : prov_cand Vec.t;
+    pv_cap : int;
+    mutable pv_dropped : int;
+    pv_winners : (int, int) Hashtbl.t; (* packed phys key -> candidate index *)
+    mutable p_seq : int;
+    mutable p_rule : int; (* firing context: current trule, -1 outside a firing *)
+    mutable p_parent : int; (* firing context: mexpr fired on, -1 outside *)
+  }
+
   type ctx = {
     parents : int Vec.t; (* union-find over group indexes *)
     groups : group_data Vec.t;
@@ -246,6 +303,9 @@ module Make (M : MODEL) = struct
     tracer : (event -> unit) option;
         (* [None] is the fast path: every emission site is a single match
            on this field and constructs no event *)
+    prov : prov option;
+        (* provenance side-tables; [None] is the same nil-sink fast path
+           as [tracer] — recording sites are a single match *)
     typing : (M.Op.t -> M.Typ.t list -> (M.Typ.t, string) result) option;
         (* the memo-wide type invariant: when installed, every mexpr must
            derive a type, and all mexprs of one group must derive equal
@@ -265,6 +325,21 @@ module Make (M : MODEL) = struct
     |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
   let closure_complete ctx = ctx.ms.s_closure_complete
+
+  let provenance_on ctx = ctx.prov <> None
+
+  let prov_rule_id p name =
+    match Hashtbl.find_opt p.pr_index name with
+    | Some id -> id
+    | None ->
+      let id = Vec.push p.pr_names name in
+      Hashtbl.add p.pr_index name id;
+      id
+
+  let prov_next_seq p =
+    let s = p.p_seq in
+    p.p_seq <- s + 1;
+    s
 
   (* ------------------------------------------------------------------ *)
   (* Union-find over groups                                              *)
@@ -530,13 +605,21 @@ module Make (M : MODEL) = struct
             mx_alive = true }
         in
         let _ = Vec.push ctx.mexprs mx in
+        (match ctx.prov with
+        | None -> ()
+        | Some p ->
+          (* one row per mexpr, pushed exactly when [ctx.mexprs] is *)
+          let _ = Vec.push p.pm_rule p.p_rule in
+          let _ = Vec.push p.pm_parent p.p_parent in
+          let _ = Vec.push p.pm_seq (prov_next_seq p) in
+          ());
         gd.gexprs <- mid :: gd.gexprs;
         gd.gstamp <- gd.gstamp + 1;
         Key_tbl.replace ctx.mexpr_index k mid;
         register_users ctx inputs mid;
         ctx.generation <- ctx.generation + 1;
         (match ctx.tracer with None -> () | Some f -> f (Mexpr_added { group = g; op = m.mop }));
-        Some (g, m)
+        Some (g, m, mid)
 
   (* Exact lookup without insertion (intern_build's fast path). *)
   let lookup_mexpr ctx (m : mexpr) =
@@ -547,6 +630,18 @@ module Make (M : MODEL) = struct
       match Key_tbl.find_opt ctx.mexpr_index (make_key op_id inputs) with
       | Some mid -> Some (find ctx (mexpr_data ctx mid).mx_group)
       | None -> None)
+
+  (* Packed id of the live mexpr equal to [m], or -1. The physical search
+     iterates the public [group_exprs] view (ids erased), so provenance
+     recording recovers the id through the exact intern key. *)
+  let prov_mexpr_id ctx (m : mexpr) =
+    match Op_tbl.find_opt ctx.op_index m.mop with
+    | None -> -1
+    | Some op_id -> (
+      let inputs = canon_inputs ctx (Array.of_list m.minputs) in
+      match Key_tbl.find_opt ctx.mexpr_index (make_key op_id inputs) with
+      | Some mid -> mid
+      | None -> -1)
 
   (* ------------------------------------------------------------------ *)
   (* Rules and specification                                             *)
@@ -600,6 +695,8 @@ module Make (M : MODEL) = struct
     phys_memo_hits : int;
     closure_steps : int;
     closure_complete : bool;
+    prov_records : int;
+    prov_dropped : int;
   }
 
   type expr = Expr of M.Op.t * expr list
@@ -642,7 +739,7 @@ module Make (M : MODEL) = struct
     in
     while (not (Queue.is_empty queue)) && not (exhausted ()) do
       ctx.ms.s_closure_steps <- ctx.ms.s_closure_steps + 1;
-      let g, m = Queue.pop queue in
+      let g, m, mid = Queue.pop queue in
       List.iter
         (fun rule ->
           ctx.ms.s_trule_tried <- ctx.ms.s_trule_tried + 1;
@@ -651,6 +748,14 @@ module Make (M : MODEL) = struct
           (match ctx.tracer with
           | None -> ()
           | Some f -> f (Trule_tried { rule = rule.t_name; group = find ctx g }));
+          (* Firing context: every mexpr interned while this rule's builds
+             are processed (interior nodes included) is attributed to the
+             rule and the mexpr it fired on. *)
+          (match ctx.prov with
+          | None -> ()
+          | Some p ->
+            p.p_rule <- prov_rule_id p rule.t_name;
+            p.p_parent <- mid);
           let builds = rule.t_apply ctx m in
           List.iter
             (fun b ->
@@ -681,7 +786,12 @@ module Make (M : MODEL) = struct
                   Queue.add entry queue
                 | None -> ()))
             builds)
-        enabled_trules
+        enabled_trules;
+      (match ctx.prov with
+      | None -> ()
+      | Some p ->
+        p.p_rule <- -1;
+        p.p_parent <- -1)
     done;
     (* A drained queue means the rule set reached its fixpoint; leftover
        entries mean the fuel budget interrupted a (possibly diverging)
@@ -728,6 +838,34 @@ module Make (M : MODEL) = struct
       id
 
   let phys_key ctx g p = Id.make Id.Phys ((g lsl pprop_bits) lor intern_pprop ctx p)
+
+  (* Append one candidate-log row; returns its index, or -1 when
+     provenance is off or the cap was hit (the drop is counted). *)
+  let prov_log ctx ~group ~required ~rule ~mexpr ~alg ~local_cost ~inputs =
+    match ctx.prov with
+    | None -> -1
+    | Some p ->
+      if Vec.length p.pv_cands >= p.pv_cap then begin
+        p.pv_dropped <- p.pv_dropped + 1;
+        -1
+      end
+      else
+        Vec.push p.pv_cands
+          { pc_seq = prov_next_seq p;
+            pc_group = group;
+            pc_required = required;
+            pc_rule = rule;
+            pc_mexpr = mexpr;
+            pc_alg = alg;
+            pc_local_cost = local_cost;
+            pc_inputs = inputs;
+            pc_disposition = Abandoned }
+
+  let prov_set ctx idx d =
+    if idx >= 0 then
+      match ctx.prov with
+      | None -> ()
+      | Some p -> (Vec.get p.pv_cands idx).pc_disposition <- d
 
   let optimize_physical ctx ~memo ~enabled_irules ~enabled_enforcers ~pruning ~guided
       ~initial_limit ~root ~required =
@@ -784,6 +922,9 @@ module Make (M : MODEL) = struct
           | _ ->
             entry.in_progress <- true;
             let best = ref entry.best in
+            let goal_key =
+              match ctx.prov with None -> -1 | Some _ -> phys_key ctx g required
+            in
             let current_limit () =
               if not pruning then M.Cost.infinite
               else
@@ -791,10 +932,14 @@ module Make (M : MODEL) = struct
                 | Some p when cost_le p.cost limit -> p.cost
                 | _ -> limit
             in
-            let consider plan =
+            let consider pidx plan =
               match !best with
               | Some b when cost_le b.cost plan.cost -> ()
-              | _ -> best := Some plan
+              | _ ->
+                best := Some plan;
+                (match ctx.prov with
+                | Some p when pidx >= 0 -> Hashtbl.replace p.pv_winners goal_key pidx
+                | Some _ | None -> ())
             in
             (* Guided mode may skip a subgoal outright when the budget
                left after the candidate's own cost is already negative:
@@ -811,12 +956,15 @@ module Make (M : MODEL) = struct
               | None -> ()
               | Some f -> f (Subgoal_pruned { group = find ctx child; required = cprops })
             in
-            let try_candidate cand =
+            let try_candidate (cand, pidx) =
               ctx.ms.s_candidates <- ctx.ms.s_candidates + 1;
               if M.Pprop.satisfies ~delivered:cand.cand_delivers ~required then begin
                 let limit0 = current_limit () in
                 if not (bounded_le cand.cand_cost limit0) then begin
                   ctx.ms.s_pruned_candidates <- ctx.ms.s_pruned_candidates + 1;
+                  prov_set ctx pidx
+                    (Pruned_candidate
+                       { limit = limit0; margin = M.Cost.sub cand.cand_cost limit0 });
                   match ctx.tracer with
                   | None -> ()
                   | Some f ->
@@ -834,6 +982,12 @@ module Make (M : MODEL) = struct
                       let remaining = M.Cost.sub (current_limit ()) acc_cost in
                       if subgoal_dominated remaining then begin
                         prune_subgoal child cprops;
+                        prov_set ctx pidx
+                          (Pruned_subgoal
+                             { subgoal = find ctx child;
+                               subgoal_required = cprops;
+                               limit = current_limit ();
+                               margin = M.Cost.sub M.Cost.zero remaining });
                         None
                       end
                       else
@@ -846,7 +1000,8 @@ module Make (M : MODEL) = struct
                   match opt_children cand.cand_cost [] cand.cand_inputs with
                   | None -> ()
                   | Some (children, total) ->
-                    consider
+                    prov_set ctx pidx (Kept total);
+                    consider pidx
                       { alg = cand.cand_alg;
                         children;
                         cost = total;
@@ -861,6 +1016,9 @@ module Make (M : MODEL) = struct
             let deferred = ref [] in
             List.iter
               (fun m ->
+                let m_pid =
+                  match ctx.prov with None -> -1 | Some _ -> prov_mexpr_id ctx m
+                in
                 List.iter
                   (fun (ir : irule) ->
                     let counter = rule_counter ctx ir.i_name in
@@ -881,13 +1039,19 @@ module Make (M : MODEL) = struct
                                  group = g;
                                  alg = cand.cand_alg;
                                  cost = cand.cand_cost }));
-                        if guided then deferred := cand :: !deferred
-                        else try_candidate cand)
+                        let pidx =
+                          prov_log ctx ~group:g ~required ~rule:ir.i_name ~mexpr:m_pid
+                            ~alg:cand.cand_alg ~local_cost:cand.cand_cost
+                            ~inputs:cand.cand_inputs
+                        in
+                        if guided then deferred := (cand, pidx) :: !deferred
+                        else try_candidate (cand, pidx))
                       cands)
                   enabled_irules)
               (group_exprs ctx g);
             if guided then
-              List.stable_sort (fun a b -> M.Cost.compare a.cand_cost b.cand_cost)
+              List.stable_sort
+                (fun (a, _) (b, _) -> M.Cost.compare a.cand_cost b.cand_cost)
                 (List.rev !deferred)
               |> List.iter try_candidate;
             (* Enforcers: achieve [required] by gluing a property-enforcing
@@ -907,8 +1071,21 @@ module Make (M : MODEL) = struct
                     | None -> ()
                     | Some f ->
                       f (Enforcer_offered { rule = en.e_name; group = g; alg; cost = ecost }));
+                    let pidx =
+                      prov_log ctx ~group:g ~required ~rule:en.e_name ~mexpr:(-1) ~alg
+                        ~local_cost:ecost
+                        ~inputs:[ (g, weaker) ]
+                    in
                     let remaining = M.Cost.sub (current_limit ()) ecost in
-                    if subgoal_dominated remaining then prune_subgoal g weaker
+                    if subgoal_dominated remaining then begin
+                      prov_set ctx pidx
+                        (Pruned_subgoal
+                           { subgoal = g;
+                             subgoal_required = weaker;
+                             limit = current_limit ();
+                             margin = M.Cost.sub M.Cost.zero remaining });
+                      prune_subgoal g weaker
+                    end
                     else
                       match optimize g weaker remaining with
                       | None -> ()
@@ -917,10 +1094,12 @@ module Make (M : MODEL) = struct
                         (match ctx.tracer with
                         | None -> ()
                         | Some f -> f (Enforcer_inserted { group = g; alg }));
-                        consider
+                        let total = M.Cost.add ecost sub.cost in
+                        prov_set ctx pidx (Kept total);
+                        consider pidx
                           { alg;
                             children = [ sub ];
-                            cost = M.Cost.add ecost sub.cost;
+                            cost = total;
                             delivered = required })
                   offers)
               enabled_enforcers;
@@ -971,9 +1150,29 @@ module Make (M : MODEL) = struct
     ss_phys : (int, entry) Hashtbl.t; (* packed (group, pprop id) -> entry *)
   }
 
+  let default_provenance_cap = 1 lsl 20
+
   let session ?(disabled = []) ?(pruning = true) ?(guided = false) ?closure_fuel ?trace
-      ?spans ?typing spec =
+      ?spans ?typing ?(provenance = false) ?(provenance_cap = default_provenance_cap)
+      spec =
     let enabled name = not (List.mem name disabled) in
+    let prov =
+      if not provenance then None
+      else
+        Some
+          { pm_rule = Vec.create ~capacity:256 ();
+            pm_parent = Vec.create ~capacity:256 ();
+            pm_seq = Vec.create ~capacity:256 ();
+            pr_names = Vec.create ~capacity:32 ();
+            pr_index = Hashtbl.create 32;
+            pv_cands = Vec.create ~capacity:256 ();
+            pv_cap = provenance_cap;
+            pv_dropped = 0;
+            pv_winners = Hashtbl.create 256;
+            p_seq = 0;
+            p_rule = -1;
+            p_parent = -1 }
+    in
     let ctx =
       { parents = Vec.create ~capacity:64 ();
         groups = Vec.create ~capacity:64 ();
@@ -998,6 +1197,7 @@ module Make (M : MODEL) = struct
         rule_tbl = Hashtbl.create 32;
         generation = 0;
         tracer = trace;
+        prov;
         typing }
     in
     let irules = List.filter (fun r -> enabled r.i_name) spec.implementations in
@@ -1044,7 +1244,12 @@ module Make (M : MODEL) = struct
       enforcer_uses = ctx.ms.s_enforcer_uses;
       phys_memo_hits = ctx.ms.s_phys_memo_hits;
       closure_steps = ctx.ms.s_closure_steps;
-      closure_complete = ctx.ms.s_closure_complete }
+      closure_complete = ctx.ms.s_closure_complete;
+      prov_records =
+        (match ctx.prov with
+        | None -> 0
+        | Some p -> Vec.length p.pm_rule + Vec.length p.pv_cands);
+      prov_dropped = (match ctx.prov with None -> 0 | Some p -> p.pv_dropped) }
 
   let solve s ?(initial_limit = M.Cost.infinite) root ~required =
     let ctx = s.ss_ctx in
@@ -1059,10 +1264,124 @@ module Make (M : MODEL) = struct
     { plan; stats = snapshot_stats ctx; root = find ctx root; ctx }
 
   let run ?disabled ?pruning ?guided ?(initial_limit = M.Cost.infinite) ?closure_fuel
-      ?trace ?spans ?typing spec expr ~required =
-    let s = session ?disabled ?pruning ?guided ?closure_fuel ?trace ?spans ?typing spec in
+      ?trace ?spans ?typing ?provenance ?provenance_cap spec expr ~required =
+    let s =
+      session ?disabled ?pruning ?guided ?closure_fuel ?trace ?spans ?typing ?provenance
+        ?provenance_cap spec
+    in
     let root = register s expr in
     solve s ~initial_limit root ~required
+
+  (* ------------------------------------------------------------------ *)
+  (* Provenance read API                                                 *)
+
+  type lineage = {
+    lin_id : int; (* packed mexpr id *)
+    lin_group : group; (* canonical owning group *)
+    lin_op : M.Op.t;
+    lin_inputs : group list;
+    lin_rule : string option; (* None = root intern *)
+    lin_parent : int option; (* packed mexpr id the rule fired on *)
+    lin_seq : int;
+    lin_alive : bool;
+  }
+
+  type cand_record = {
+    cr_index : int;
+    cr_seq : int;
+    cr_group : group;
+    cr_required : M.Pprop.t;
+    cr_rule : string;
+    cr_mexpr : int option; (* packed mexpr id; None for enforcer offers *)
+    cr_alg : M.Alg.t;
+    cr_local_cost : M.Cost.t;
+    cr_inputs : (group * M.Pprop.t) list;
+    cr_disposition : disposition;
+  }
+
+  let lineage ctx mid =
+    match ctx.prov with
+    | None -> None
+    | Some p ->
+      let idx = Id.to_idx mid in
+      if idx < 0 || idx >= Vec.length p.pm_rule then None
+      else
+        let mx = Vec.get ctx.mexprs idx in
+        let rule_id = Vec.get p.pm_rule idx in
+        let parent = Vec.get p.pm_parent idx in
+        Some
+          { lin_id = mx.mx_id;
+            lin_group = find ctx mx.mx_group;
+            lin_op = Vec.get ctx.ops mx.mx_op;
+            lin_inputs = Array.to_list (canon_inputs ctx mx.mx_inputs);
+            lin_rule = (if rule_id < 0 then None else Some (Vec.get p.pr_names rule_id));
+            lin_parent = (if parent < 0 then None else Some parent);
+            lin_seq = Vec.get p.pm_seq idx;
+            lin_alive = mx.mx_alive }
+
+  let lineages ctx =
+    match ctx.prov with
+    | None -> []
+    | Some p ->
+      let n = Vec.length p.pm_rule in
+      List.filter_map (fun i -> lineage ctx (Id.make Id.Mexpr i)) (List.init n Fun.id)
+
+  (* Trule chain that derived [mid], oldest firing first: walk parent
+     pointers to the root intern, collecting each step's producing rule. *)
+  let rule_chain ctx mid =
+    match ctx.prov with
+    | None -> []
+    | Some p ->
+      let rec walk acc mid =
+        let idx = Id.to_idx mid in
+        if idx < 0 || idx >= Vec.length p.pm_rule then acc
+        else
+          let rule_id = Vec.get p.pm_rule idx in
+          let acc =
+            if rule_id < 0 then acc else Vec.get p.pr_names rule_id :: acc
+          in
+          let parent = Vec.get p.pm_parent idx in
+          if parent < 0 then acc else walk acc parent
+      in
+      walk [] mid
+
+  let cand_record_of p ctx idx =
+    let c = Vec.get p.pv_cands idx in
+    { cr_index = idx;
+      cr_seq = c.pc_seq;
+      cr_group = find ctx c.pc_group;
+      cr_required = c.pc_required;
+      cr_rule = c.pc_rule;
+      cr_mexpr = (if c.pc_mexpr < 0 then None else Some c.pc_mexpr);
+      cr_alg = c.pc_alg;
+      cr_local_cost = c.pc_local_cost;
+      cr_inputs = List.map (fun (g, pr) -> (find ctx g, pr)) c.pc_inputs;
+      cr_disposition = c.pc_disposition }
+
+  let cand_records ctx =
+    match ctx.prov with
+    | None -> []
+    | Some p ->
+      List.init (Vec.length p.pv_cands) (fun i -> cand_record_of p ctx i)
+
+  let cand_record ctx idx =
+    match ctx.prov with
+    | None -> None
+    | Some p ->
+      if idx < 0 || idx >= Vec.length p.pv_cands then None
+      else Some (cand_record_of p ctx idx)
+
+  let provenance_dropped ctx =
+    match ctx.prov with None -> 0 | Some p -> p.pv_dropped
+
+  (* Winning candidate of a searched (group, required) goal, if any. *)
+  let winner_of ctx g ~required =
+    match ctx.prov with
+    | None -> None
+    | Some p -> (
+      match Hashtbl.find_opt p.pv_winners (phys_key ctx (find ctx g) required) with
+      | None -> None
+      | Some idx -> Some (cand_record_of p ctx idx))
 
   let rec plan_to_tree plan =
     Pretty.Node (Format.asprintf "%a" M.Alg.pp plan.alg, List.map plan_to_tree plan.children)

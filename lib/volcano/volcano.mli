@@ -271,6 +271,13 @@ module Make (M : MODEL) : sig
     phys_memo_hits : int;
     closure_steps : int;  (** multi-expressions popped during logical closure *)
     closure_complete : bool;  (** [false] iff a [closure_fuel] budget ran out *)
+    prov_records : int;
+        (** provenance rows recorded (mexpr lineage + candidate log);
+            0 when provenance is off *)
+    prov_dropped : int;
+        (** candidate-log rows dropped at the provenance cap — nonzero
+            means the lineage is truncated and explanations built on it
+            are incomplete *)
   }
 
   type expr = Expr of M.Op.t * expr list
@@ -300,9 +307,23 @@ module Make (M : MODEL) : sig
     ?trace:(event -> unit) ->
     ?spans:Oodb_util.Span.t ->
     ?typing:(M.Op.t -> M.Typ.t list -> (M.Typ.t, string) Stdlib.result) ->
+    ?provenance:bool ->
+    ?provenance_cap:int ->
     spec ->
     session
   (** Fresh session with an empty memo.
+
+      [provenance] (default [false]) turns on derivation-lineage
+      recording in flat [Vec] side-tables parallel to the memo: every
+      multi-expression records the transformation rule that produced it,
+      the packed id of the multi-expression the rule fired on, and a
+      global firing sequence number; every physical candidate and
+      enforcer offer gets a candidate-log row whose disposition
+      ({!disposition}) records whether it was kept, pruned (with the
+      bound and margin at the decision point), or abandoned. Like
+      [trace], the off state is a nil-sink fast path. [provenance_cap]
+      (default [2^20]) bounds the candidate log; rows beyond it are
+      counted in [stats.prov_dropped] instead of stored.
 
       [guided] (default [false]) turns on cost-bounded guided search:
       implementation rules are applied in [i_promise] order, all
@@ -360,6 +381,8 @@ module Make (M : MODEL) : sig
     ?trace:(event -> unit) ->
     ?spans:Oodb_util.Span.t ->
     ?typing:(M.Op.t -> M.Typ.t list -> (M.Typ.t, string) Stdlib.result) ->
+    ?provenance:bool ->
+    ?provenance_cap:int ->
     spec ->
     expr ->
     required:M.Pprop.t ->
@@ -378,6 +401,90 @@ module Make (M : MODEL) : sig
       [trace] receives every {!event} of the search as it happens (the
       sink must not re-enter the engine); when absent, no events are
       constructed. *)
+
+  (** {2 Provenance}
+
+      Derivation lineage recorded (when the session was created with
+      [~provenance:true]) in flat side-tables parallel to the memo's
+      packed representation. Two table families: per-mexpr lineage rows
+      (producing rule, parent id, firing sequence) and the candidate log
+      (one row per physical candidate or enforcer offer, with its final
+      disposition). All of it is read-only after a solve. *)
+
+  (** How a logged candidate ended. [margin] is the amount by which the
+      bound was exceeded at the decision point (before the [Cost.slack]
+      tolerance): for [Pruned_candidate] the candidate's local cost
+      versus the limit then in force; for [Pruned_subgoal] the committed
+      cost overrun when the remaining budget for the named subgoal went
+      negative (guided mode only). [Abandoned] candidates never
+      completed for another reason — the delivered property failed the
+      requirement, or a child goal found no plan within its budget. *)
+  type disposition =
+    | Kept of M.Cost.t  (** completed with this full plan cost *)
+    | Pruned_candidate of { limit : M.Cost.t; margin : M.Cost.t }
+    | Pruned_subgoal of {
+        subgoal : group;
+        subgoal_required : M.Pprop.t;
+        limit : M.Cost.t;
+        margin : M.Cost.t;
+      }
+    | Abandoned
+
+  type lineage = {
+    lin_id : int;  (** packed mexpr id ({!Id} kind [Mexpr]) *)
+    lin_group : group;  (** canonical owning group *)
+    lin_op : M.Op.t;
+    lin_inputs : group list;  (** canonical input groups *)
+    lin_rule : string option;  (** producing trule; [None] = root intern *)
+    lin_parent : int option;  (** packed mexpr id the rule fired on *)
+    lin_seq : int;  (** global firing sequence number *)
+    lin_alive : bool;
+  }
+
+  type cand_record = {
+    cr_index : int;  (** stable index in the candidate log *)
+    cr_seq : int;
+    cr_group : group;
+    cr_required : M.Pprop.t;
+    cr_rule : string;  (** implementation rule or enforcer name *)
+    cr_mexpr : int option;
+        (** packed id of the implementing mexpr; [None] for enforcer
+            offers *)
+    cr_alg : M.Alg.t;
+    cr_local_cost : M.Cost.t;
+    cr_inputs : (group * M.Pprop.t) list;
+    cr_disposition : disposition;
+  }
+
+  val provenance_on : ctx -> bool
+
+  val lineage : ctx -> int -> lineage option
+  (** Lineage row of a packed mexpr id; [None] when provenance is off or
+      the id is unknown. *)
+
+  val lineages : ctx -> lineage list
+  (** All lineage rows, in mexpr-id (= interning) order. *)
+
+  val rule_chain : ctx -> int -> string list
+  (** Transformation-rule chain that derived the given mexpr, oldest
+      firing first, following parent pointers back to a root intern.
+      Empty when provenance is off. *)
+
+  val cand_records : ctx -> cand_record list
+  (** The whole candidate log, in costing order. *)
+
+  val cand_record : ctx -> int -> cand_record option
+
+  val provenance_dropped : ctx -> int
+  (** Candidate-log rows dropped at the cap; nonzero means the log (and
+      anything derived from it) is incomplete. *)
+
+  val winner_of : ctx -> group -> required:M.Pprop.t -> cand_record option
+  (** The candidate that produced the current best plan of a searched
+      (group, required) goal — the root of the winner's derivation walk:
+      its [cr_inputs] name the child goals, whose own winners are the
+      plan's subtrees; its [cr_mexpr]'s {!rule_chain} is the logical
+      derivation of the implemented expression. *)
 
   val pp_plan : Format.formatter -> plan -> unit
 

@@ -283,7 +283,9 @@ let sample_record ?(sha = "abc1234") ?(opt = 0.002) ?(exec = 0.010) () =
     r_batch_size = 64;
     r_cache_hit_rate = 0.5;
     r_queries = [ sample_query "q1" opt exec; sample_query "q2" opt exec ];
-    r_search_scale = [ sample_scale 4 0.01; sample_scale 10 2.0 ] }
+    r_search_scale = [ sample_scale 4 0.01; sample_scale 10 2.0 ];
+    r_provenance_overhead_pct = 2.5;
+    r_whynot_smoke = [ ("q1-merge-lost", 0.004); ("chain8-guided-hash-pruned", 0.12) ] }
 
 let test_history_roundtrip () =
   let r = sample_record () in
@@ -328,7 +330,25 @@ let test_history_roundtrip () =
     | Ok r' ->
       Alcotest.(check bool) "v2 record loads with empty search_scale" true
         (r'.History.r_search_scale = [])
-    | Error e -> Alcotest.fail ("v2 record rejected: " ^ e))
+    | Error e -> Alcotest.fail ("v2 record rejected: " ^ e));
+    (* A v3 record predates the provenance fields; they must load as
+       nan / []. *)
+    let v3 =
+      Json.Obj
+        (List.filter_map
+           (function
+             | "schema_version", _ -> Some ("schema_version", Json.Int 3)
+             | ("provenance_overhead_pct" | "whynot_smoke"), _ -> None
+             | kv -> Some kv)
+           fields)
+    in
+    (match History.of_json v3 with
+    | Ok r' ->
+      Alcotest.(check bool) "v3 record loads with nan overhead" true
+        (Float.is_nan r'.History.r_provenance_overhead_pct);
+      Alcotest.(check bool) "v3 record loads with empty whynot_smoke" true
+        (r'.History.r_whynot_smoke = [])
+    | Error e -> Alcotest.fail ("v3 record rejected: " ^ e))
   | _ -> Alcotest.fail "to_json is not an object");
   (* An over-budget width's nan exhaustive time survives as nan. *)
   let nan_scale =
@@ -465,7 +485,9 @@ let test_timeline_drop_warning () =
        (Oodb_catalog.Open_oodb_catalog.catalog_with_indexes ())
        Q.q1);
   Alcotest.(check bool) "the tiny ring dropped events" true (Trace.dropped tr > 0);
-  let rendered = Format.asprintf "%a" (Trace.pp_timeline ?limit:None) tr in
+  let rendered =
+    Format.asprintf "%a" (fun ppf tr -> Trace.pp_timeline ppf tr) tr
+  in
   Alcotest.(check bool)
     "timeline leads with the drop warning" true
     (String.length rendered >= 8 && String.sub rendered 0 8 = "WARNING:");
